@@ -1,0 +1,31 @@
+"""Shared benchmark fixtures.
+
+The harness fixture is session-scoped: real algorithm executions are
+recorded once (persisted under .cache/) and every benchmark re-prices
+them through the machine model, so the full table/figure suite runs in
+seconds after the first warm-up.
+
+Set ``REPRO_MAX_SIZE=64`` (for example) to smoke-test the benchmark
+suite without the 256³ extractions.
+"""
+
+import pytest
+
+from repro.harness import ExperimentHarness
+
+
+@pytest.fixture(scope="session")
+def harness() -> ExperimentHarness:
+    return ExperimentHarness()
+
+
+@pytest.fixture(scope="session")
+def phase2_result(harness):
+    """All algorithms at 128³ — shared by Table II and Figs. 2–3."""
+    return harness.table2()
+
+
+@pytest.fixture(scope="session")
+def phase3_result(harness):
+    """All algorithms at all sizes — shared by Figs. 4–6."""
+    return harness.phase3()

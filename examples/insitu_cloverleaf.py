@@ -1,0 +1,60 @@
+"""In-situ scenario: CloverLeaf tightly coupled with visualization.
+
+Runs the hydrodynamics proxy with two visualization pipelines attached
+(the paper's setup: sim and viz alternate on the same resources), then
+lets the power-budget runtime split a two-socket node budget between
+them — showing the paper's headline use case end to end.
+
+Run:  python examples/insitu_cloverleaf.py
+"""
+
+from repro.cloverleaf import CloverLeaf
+from repro.insitu import InSituDriver, Pipeline, advisor_allocation, uniform_allocation
+from repro.machine import Processor
+from repro.viz import Contour, Slice, Threshold
+
+
+def main() -> None:
+    # 48^3 with 150 hydro steps per visualization cycle gives the
+    # paper's composition: visualization is a 10-20% tail of each cycle.
+    sim = CloverLeaf(48)
+    pipelines = [
+        Pipeline("surfaces").add(Contour(field="energy")).add(Slice(field="energy")),
+        Pipeline("selection").add(Threshold(field="energy")),
+    ]
+    driver = InSituDriver(sim, pipelines, steps_per_cycle=150)
+
+    print("=== tightly-coupled run (uncapped) ===")
+    run = driver.run(3)
+    for c in run.cycles:
+        print(
+            f"cycle {c.cycle}: sim {c.sim_time_s:7.3f}s + viz {c.viz_time_s:7.3f}s "
+            f"(viz share {c.viz_fraction * 100:4.1f}%)  avg power {c.energy_j / c.time_s:6.1f}W"
+        )
+    print(f"total: {run.total_time_s:.2f}s at {run.avg_power_w:.1f}W average; "
+          f"visualization share {run.viz_fraction * 100:.1f}% "
+          f"(the paper quotes 10-20% for production runs)")
+
+    print("\n=== node power budget: 140 W across two sockets ===")
+    proc = Processor()
+    sim_profile = sim.profile(n_steps=150)
+    viz_profile = pipelines[0].execute(sim.dataset()).profile
+
+    uni = uniform_allocation(proc, sim_profile, viz_profile, 140.0)
+    adv = advisor_allocation(proc, sim_profile, viz_profile, 140.0)
+    for d in (uni, adv):
+        print(
+            f"{d.strategy:>24s}: sim@{d.sim_cap_w:5.1f}W viz@{d.viz_cap_w:5.1f}W "
+            f"-> makespan {d.makespan_s:7.3f}s, node draw {d.budget_used_w:6.1f}W"
+        )
+    gain = (uni.makespan_s - adv.makespan_s) / uni.makespan_s * 100
+    if gain > 0.5:
+        print(f"advisor finishes {gain:.1f}% sooner by deep-capping the data-bound "
+              f"visualization and boosting the simulation.")
+    else:
+        print("advisor matches uniform here (the budget is loose enough "
+              "that neither socket throttles).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Post-hoc workflow: the paper's first use case, end to end.
+
+"When doing post hoc visualization and data analysis on a shared
+cluster, requesting the lowest amount of power will leave more for
+other power-hungry applications."  This example plays both halves:
+
+1. the *simulation job* runs the hydro proxy and archives its state;
+2. the *analysis job* loads the archive later, classifies its filters
+   from one uncapped run each, requests the predicted deepest safe cap,
+   and exports the extracted surfaces as OBJ.
+
+Run:  python examples/posthoc_workflow.py [workdir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.cloverleaf import CloverLeaf
+from repro.core import predict_class, predicted_cap
+from repro.data import load_dataset, save_dataset, save_obj
+from repro.machine import Processor
+from repro.viz import Contour, Slice
+
+
+def simulation_job(workdir: Path) -> Path:
+    print("=== simulation job: evolve and archive ===")
+    sim = CloverLeaf(32)
+    sim.run_to_step(40)
+    path = save_dataset(sim.dataset(), workdir / "state_step40.npz")
+    print(f"archived step {sim.state.step_count} "
+          f"(mass {sim.state.total_mass():.3f}) -> {path}")
+    return path
+
+
+def analysis_job(archive: Path, workdir: Path) -> None:
+    print("\n=== analysis job: load, classify, request power, extract ===")
+    ds = load_dataset(archive)
+    proc = Processor()
+
+    for flt in (Contour(field="energy"), Slice(field="energy")):
+        result = flt.execute(ds)
+        uncapped = proc.run(result.profile, 120.0)
+        pred = predict_class(uncapped)
+        cap = predicted_cap(uncapped)
+        capped = proc.run(result.profile, cap)
+        print(
+            f"{flt.name:>8s}: {pred.power_class.value} "
+            f"(confidence {pred.confidence:.2f}) -> request {cap:.0f}W cap; "
+            f"slowdown {capped.time_s / uncapped.time_s:.2f}x, "
+            f"power {uncapped.avg_power_w:.1f} -> {capped.avg_power_w:.1f}W"
+        )
+        mesh = result.output.welded() if hasattr(result.output, "welded") else result.output
+        obj = save_obj(mesh, workdir / f"{flt.name}.obj")
+        print(f"          surface: {mesh.n_triangles:,} triangles -> {obj}")
+
+    print("\nThe analysis ran essentially full speed at a fraction of the "
+          "power request,\nleaving the headroom to the cluster's "
+          "power-hungry co-tenants.")
+
+
+def main() -> None:
+    workdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("posthoc")
+    workdir.mkdir(exist_ok=True)
+    archive = simulation_job(workdir)
+    analysis_job(archive, workdir)
+
+
+if __name__ == "__main__":
+    main()

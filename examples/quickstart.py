@@ -1,0 +1,47 @@
+"""Quickstart: run one visualization algorithm under a power-cap sweep.
+
+This reproduces the paper's core measurement in ~30 lines: execute the
+contour filter (real marching cubes) against a synthetic energy field,
+then price its work profile on the simulated Broadwell socket at every
+RAPL cap from TDP down to 40 W.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.data.generators import make_dataset
+from repro.machine import Processor
+from repro.viz import Contour
+
+
+def main() -> None:
+    # 1. A 64^3 dataset with a CloverLeaf-like multi-lobed energy field.
+    dataset = make_dataset(64)
+
+    # 2. Run the real algorithm once: 10 isovalues of marching cubes.
+    result = Contour(field="energy").execute(dataset)
+    mesh = result.output
+    print(f"contour produced {mesh.n_triangles:,} triangles "
+          f"({result.counts['active_cells']:,.0f} active cells)")
+
+    # 3. The execution's work profile is frequency-independent — sweep
+    #    the power cap on the simulated socket without re-running.
+    proc = Processor()
+    base = proc.run(result.profile, 120.0)
+    print(f"\n{'cap':>6} {'time':>9} {'Tratio':>7} {'power':>8} {'freq':>9} {'IPC':>6}")
+    for cap in range(120, 30, -10):
+        run = proc.run(result.profile, float(cap))
+        print(
+            f"{cap:>5}W {run.time_s:>8.3f}s {run.time_s / base.time_s:>6.2f}X "
+            f"{run.avg_power_w:>7.1f}W {run.effective_freq_ghz:>7.2f}GHz "
+            f"{run.ipc:>6.2f}"
+        )
+
+    print(
+        "\nThe contour is data intensive: its draw sits far below TDP, so the"
+        "\ncap barely matters until it approaches the algorithm's natural power"
+        "\n— the paper's 'power opportunity' behavior."
+    )
+
+
+if __name__ == "__main__":
+    main()

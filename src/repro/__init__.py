@@ -1,0 +1,26 @@
+"""repro — reproduction of "Power and Performance Tradeoffs for
+Visualization Algorithms" (Labasan, Larsen, Childs, Rountree; IPDPS 2019).
+
+The package is layered bottom-up:
+
+* :mod:`repro.workload` — hardware-independent work descriptions.
+* :mod:`repro.data` — grids, fields, meshes, marching-cubes tables.
+* :mod:`repro.viz` — the eight visualization algorithms (VTK-m substitute).
+* :mod:`repro.machine` — simulated Broadwell socket with RAPL power capping.
+* :mod:`repro.cloverleaf` — hydrodynamics proxy (data source).
+* :mod:`repro.insitu` — tightly-coupled sim+viz and the power-budget runtime.
+* :mod:`repro.core` — the study itself: sweeps, metrics, classification.
+* :mod:`repro.harness` — per-table/figure experiment drivers.
+"""
+
+__version__ = "1.0.0"
+
+from .workload import AccessPattern, InstructionMix, WorkProfile, WorkSegment
+
+__all__ = [
+    "__version__",
+    "AccessPattern",
+    "InstructionMix",
+    "WorkProfile",
+    "WorkSegment",
+]

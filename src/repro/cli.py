@@ -1,0 +1,147 @@
+"""Command-line interface: regenerate the paper's results from a shell.
+
+    python -m repro table1              # Table I (contour sweep)
+    python -m repro table2              # Table II (all algorithms @128^3)
+    python -m repro table3              # Table III (@256^3)
+    python -m repro figures             # Figs. 2-6 series summary
+    python -m repro classify            # class + recommended cap per algorithm
+    python -m repro all --csv results/  # everything, with CSV artifacts
+
+``--max-size`` caps dataset sizes (like REPRO_MAX_SIZE); ``--cycles``
+overrides the per-measurement visualization cycle count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+from .core import (
+    classify_result,
+    figure2_series,
+    figure3_series,
+    ipc_by_size_series,
+    recommend_cap,
+    render_slowdown_table,
+    render_table1,
+)
+from .core.runner import DEFAULT_VIZ_CYCLES
+from .core.study import ALGORITHM_NAMES
+from .harness import ExperimentHarness, effective_sizes, result_to_csv, series_to_csv
+
+__all__ = ["main"]
+
+
+def _csv_dir(args) -> Path | None:
+    if args.csv is None:
+        return None
+    path = Path(args.csv)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def cmd_table1(harness: ExperimentHarness, args) -> None:
+    result = harness.table1()
+    size = effective_sizes((128,))[0]
+    print(render_table1(result, algorithm="contour", size=size))
+    if (d := _csv_dir(args)) is not None:
+        result_to_csv(result, d / "table1.csv")
+
+
+def cmd_table2(harness: ExperimentHarness, args) -> None:
+    result = harness.table2()
+    size = effective_sizes((128,))[0]
+    print(render_slowdown_table(result, size=size))
+    if (d := _csv_dir(args)) is not None:
+        result_to_csv(result, d / "table2.csv")
+
+
+def cmd_table3(harness: ExperimentHarness, args) -> None:
+    size = effective_sizes((256,))[0]
+    result = harness.table3()
+    print(render_slowdown_table(result, size=size))
+    if (d := _csv_dir(args)) is not None:
+        result_to_csv(result, d / "table3.csv")
+
+
+def cmd_figures(harness: ExperimentHarness, args) -> None:
+    size = effective_sizes((128,))[0]
+    p2 = harness.table2()
+    fig2 = figure2_series(p2, size=size)
+    print(f"Fig 2 (at {size}^3, 120W):")
+    print(f"{'alg':>10s} {'f(GHz)':>8s} {'IPC':>6s} {'miss':>6s}")
+    for alg in ALGORITHM_NAMES:
+        f = fig2["frequency"][alg].y[-1]
+        i = fig2["ipc"][alg].y[-1]
+        m = fig2["llc_miss_rate"][alg].y[-1]
+        print(f"{alg:>10s} {f:>8.2f} {i:>6.2f} {m:>6.2f}")
+
+    fig3 = figure3_series(p2, size=size)
+    print("\nFig 3 (elements/s at 120W, millions):")
+    for alg, s in fig3.items():
+        print(f"{alg:>10s} {s.y[-1] / 1e6:>8.2f}")
+
+    p3 = harness.phase3()
+    sizes = effective_sizes()
+    print("\nFigs 4-6 (IPC at 120W by size):")
+    print(f"{'alg':>10s} " + " ".join(f"{s:>7d}" for s in sizes))
+    for alg in ALGORITHM_NAMES:
+        series = ipc_by_size_series(p3, algorithm=alg)
+        print(f"{alg:>10s} " + " ".join(f"{series[s].y[-1]:>7.2f}" for s in sizes))
+    if (d := _csv_dir(args)) is not None:
+        result_to_csv(p3, d / "phase3.csv")
+        series_to_csv(fig3, d / "fig3.csv")
+
+
+def cmd_classify(harness: ExperimentHarness, args) -> None:
+    size = effective_sizes((128,))[0]
+    result = harness.table2()
+    classes = classify_result(result, size=size)
+    print(f"{'algorithm':>10s} {'class':>18s} {'draw':>7s} {'rec cap':>8s}")
+    for alg in ALGORITHM_NAMES:
+        c = classes[alg]
+        rec = recommend_cap(result.select(algorithm=alg, size=size))
+        print(f"{alg:>10s} {c.power_class.value:>18s} {c.natural_power_w:>6.1f}W {rec.cap_w:>7.0f}W")
+
+
+_COMMANDS = {
+    "table1": cmd_table1,
+    "table2": cmd_table2,
+    "table3": cmd_table3,
+    "figures": cmd_figures,
+    "classify": cmd_classify,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Power and Performance Tradeoffs for Visualization Algorithms' (IPDPS 2019)",
+    )
+    parser.add_argument("command", choices=[*_COMMANDS, "all"])
+    parser.add_argument("--max-size", type=int, default=None,
+                        help="cap dataset sizes (e.g. 64 for a smoke run)")
+    parser.add_argument("--cycles", type=int, default=DEFAULT_VIZ_CYCLES,
+                        help="visualization cycles per measurement")
+    parser.add_argument("--csv", default=None, metavar="DIR",
+                        help="also write CSV artifacts to DIR")
+    parser.add_argument("--cache", default=".cache/counts.pkl",
+                        help="op-ledger cache path ('' to disable)")
+    args = parser.parse_args(argv)
+
+    if args.max_size is not None:
+        os.environ["REPRO_MAX_SIZE"] = str(args.max_size)
+
+    harness = ExperimentHarness(args.cache or None, n_cycles=args.cycles)
+    commands = list(_COMMANDS) if args.command == "all" else [args.command]
+    for i, name in enumerate(commands):
+        if i:
+            print("\n" + "=" * 72 + "\n")
+        _COMMANDS[name](harness, args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""CloverLeaf-like hydrodynamics proxy: the study's data source."""
+
+from .driver import CloverLeaf, step_profile
+from .eos import ideal_gas
+from .hydro import accelerate, advect, apply_floors, compute_dt, hydro_step, pdv
+from .state import SimState, ideal_initial_state
+
+__all__ = [
+    "CloverLeaf",
+    "step_profile",
+    "ideal_gas",
+    "SimState",
+    "ideal_initial_state",
+    "hydro_step",
+    "compute_dt",
+    "accelerate",
+    "pdv",
+    "advect",
+    "apply_floors",
+]

@@ -1,0 +1,22 @@
+"""Ideal-gas equation of state (CloverLeaf's only EOS)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ideal_gas"]
+
+
+def ideal_gas(
+    density: np.ndarray, energy: np.ndarray, gamma: float = 1.4
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pressure and sound speed from density and specific internal energy.
+
+    ``p = (γ - 1) ρ e``;  ``c = sqrt(γ p / ρ)``.  Inputs must be
+    positive; the hydro step enforces floors before calling.
+    """
+    if gamma <= 1.0:
+        raise ValueError(f"gamma must exceed 1, got {gamma}")
+    pressure = (gamma - 1.0) * density * energy
+    soundspeed = np.sqrt(gamma * pressure / density)
+    return pressure, soundspeed

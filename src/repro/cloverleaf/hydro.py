@@ -1,0 +1,208 @@
+"""Explicit hydrodynamics kernels for the CloverLeaf proxy.
+
+A simplified but real compressible-flow scheme on the staggered grid:
+
+1. ``compute_dt`` — CFL-limited timestep from sound speed + flow speed.
+2. ``accelerate`` — node velocities from the pressure (+ artificial
+   viscosity) gradient.
+3. ``pdv`` — compression work: internal energy and density respond to
+   the velocity divergence.
+4. ``advect`` — conservative donor-cell transport of mass and energy,
+   one sweep per axis (flux-form, so total mass is conserved exactly;
+   the tests check this to machine precision).
+
+Reflective boundaries throughout (zero normal velocity, zero boundary
+flux), like CloverLeaf's default box.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .eos import ideal_gas
+from .state import SimState, _cells_to_nodes
+
+__all__ = ["compute_dt", "accelerate", "pdv", "advect", "apply_floors", "hydro_step"]
+
+_RHO_FLOOR = 1e-6
+_E_FLOOR = 1e-6
+
+
+def compute_dt(state: SimState, *, cfl: float = 0.25, dt_max: float = 0.1) -> float:
+    """CFL timestep: fastest signal speed per cell vs. cell width."""
+    h = min(state.grid.spacing)
+    # Cell-centered speed: average the 8 corner nodes.
+    speed = np.linalg.norm(_nodes_to_cells(state.vel), axis=-1)
+    signal = state.soundspeed + speed
+    dt = cfl * h / float(signal.max())
+    if not np.isfinite(dt) or dt <= 0:
+        raise FloatingPointError("non-finite timestep — state has gone unphysical")
+    return min(dt, dt_max)
+
+
+def artificial_viscosity(state: SimState, *, cq: float = 1.0) -> np.ndarray:
+    """Von Neumann–Richtmyer-style scalar q, active under compression."""
+    div = velocity_divergence(state)
+    h = min(state.grid.spacing)
+    compressing = div < 0.0
+    q = np.where(compressing, cq * state.density * (h * div) ** 2, 0.0)
+    return q
+
+
+def accelerate(state: SimState, dt: float) -> None:
+    """Update node velocities from -∇(p + q) / ρ, reflective walls."""
+    p_tot = state.pressure + artificial_viscosity(state)
+    pn = _cells_to_nodes(p_tot)
+    rho_n = np.maximum(_cells_to_nodes(state.density), _RHO_FLOOR)
+    sx, sy, sz = state.grid.spacing
+    # Node lattice is (z, y, x); np.gradient axis order follows that.
+    gz, gy, gx = np.gradient(pn, sz, sy, sx)
+    state.vel[..., 0] -= dt * gx / rho_n
+    state.vel[..., 1] -= dt * gy / rho_n
+    state.vel[..., 2] -= dt * gz / rho_n
+    _reflect_walls(state.vel)
+
+
+def velocity_divergence(state: SimState) -> np.ndarray:
+    """div(u) at cells from face-averaged node velocities."""
+    vx = state.vel[..., 0]
+    vy = state.vel[..., 1]
+    vz = state.vel[..., 2]
+    sx, sy, sz = state.grid.spacing
+
+    # Face-averaged normal velocities (4 nodes per face).
+    fx = (vx[:-1, :-1, :] + vx[:-1, 1:, :] + vx[1:, :-1, :] + vx[1:, 1:, :]) / 4.0
+    fy = (vy[:-1, :, :-1] + vy[:-1, :, 1:] + vy[1:, :, :-1] + vy[1:, :, 1:]) / 4.0
+    fz = (vz[:, :-1, :-1] + vz[:, :-1, 1:] + vz[:, 1:, :-1] + vz[:, 1:, 1:]) / 4.0
+
+    div = (
+        (fx[:, :, 1:] - fx[:, :, :-1]) / sx
+        + (fy[:, 1:, :] - fy[:, :-1, :]) / sy
+        + (fz[1:, :, :] - fz[:-1, :, :]) / sz
+    )
+    return div
+
+
+def pdv(state: SimState, dt: float) -> None:
+    """Compression work: internal energy responds to div(u).
+
+    Density is deliberately *not* updated here — mass transport is
+    handled entirely by the flux-form advection sweep, which conserves
+    total mass to machine precision (updating ρ in both places would
+    double-count compression).
+    """
+    div = velocity_divergence(state)
+    p_tot = state.pressure + artificial_viscosity(state)
+    rho = np.maximum(state.density, _RHO_FLOOR)
+    state.energy -= dt * (p_tot / rho) * div
+
+
+def advect(state: SimState, dt: float) -> None:
+    """Donor-cell transport of mass and energy, one sweep per axis.
+
+    Flux form with zero boundary flux — total mass is conserved to
+    machine precision, which the tests verify.  Directional splitting
+    is order-biased, so the sweep order alternates per step
+    (x,y,z / z,y,x) exactly as CloverLeaf's advection driver does; the
+    bias cancels to leading order over step pairs.
+    """
+    order = (0, 1, 2) if state.step_count % 2 == 0 else (2, 1, 0)
+    for axis in order:
+        _advect_axis(state, dt, axis)
+
+
+def _advect_axis(state: SimState, dt: float, axis: int) -> None:
+    # Cell lattices are (z, y, x): lattice axis for x-sweep is 2, etc.
+    lat_axis = 2 - axis
+    spacing = state.grid.spacing[axis]
+    v = state.vel[..., axis]
+
+    face_v = _interior_face_velocity(v, axis)
+    rho = state.density
+    rho_e = state.density * state.energy
+
+    up_lo = _slice_axis(rho, lat_axis, 0, -1)      # donor if flow ->
+    up_hi = _slice_axis(rho, lat_axis, 1, None)    # donor if flow <-
+    rho_up = np.where(face_v > 0.0, up_lo, up_hi)
+    e_lo = _slice_axis(rho_e, lat_axis, 0, -1)
+    e_hi = _slice_axis(rho_e, lat_axis, 1, None)
+    rho_e_up = np.where(face_v > 0.0, e_lo, e_hi)
+
+    courant = dt / spacing
+    flux_m = face_v * rho_up * courant
+    flux_e = face_v * rho_e_up * courant
+
+    _apply_flux(rho, flux_m, lat_axis)
+    _apply_flux(rho_e, flux_e, lat_axis)
+    state.density = np.maximum(rho, _RHO_FLOOR)
+    state.energy = np.maximum(rho_e / state.density, _E_FLOOR)
+
+
+def _interior_face_velocity(v_node: np.ndarray, axis: int) -> np.ndarray:
+    """Normal velocity on interior faces perpendicular to ``axis``."""
+    if axis == 0:  # x faces: average nodes over y, z; take interior x
+        f = (v_node[:-1, :-1, :] + v_node[:-1, 1:, :] + v_node[1:, :-1, :] + v_node[1:, 1:, :]) / 4.0
+        return f[:, :, 1:-1]
+    if axis == 1:
+        f = (v_node[:-1, :, :-1] + v_node[:-1, :, 1:] + v_node[1:, :, :-1] + v_node[1:, :, 1:]) / 4.0
+        return f[:, 1:-1, :]
+    f = (v_node[:, :-1, :-1] + v_node[:, :-1, 1:] + v_node[:, 1:, :-1] + v_node[:, 1:, 1:]) / 4.0
+    return f[1:-1, :, :]
+
+
+def _slice_axis(arr: np.ndarray, lat_axis: int, lo: int, hi: int | None) -> np.ndarray:
+    idx = [slice(None)] * 3
+    idx[lat_axis] = slice(lo, hi)
+    return arr[tuple(idx)]
+
+
+def _apply_flux(conserved: np.ndarray, flux: np.ndarray, lat_axis: int) -> None:
+    """conserved -= d(flux)/d(axis), zero flux at walls (in place)."""
+    lo = [slice(None)] * 3
+    hi = [slice(None)] * 3
+    lo[lat_axis] = slice(0, -1)
+    hi[lat_axis] = slice(1, None)
+    conserved[tuple(lo)] -= flux          # outflow from the low cell
+    conserved[tuple(hi)] += flux          # inflow into the high cell
+
+
+def apply_floors(state: SimState) -> None:
+    np.maximum(state.density, _RHO_FLOOR, out=state.density)
+    np.maximum(state.energy, _E_FLOOR, out=state.energy)
+
+
+def hydro_step(state: SimState, *, cfl: float = 0.25) -> float:
+    """One full explicit step; returns the dt taken."""
+    dt = compute_dt(state, cfl=cfl)
+    accelerate(state, dt)
+    pdv(state, dt)
+    advect(state, dt)
+    apply_floors(state)
+    state.pressure, state.soundspeed = ideal_gas(state.density, state.energy, state.gamma)
+    state.time += dt
+    state.step_count += 1
+    return dt
+
+
+def _nodes_to_cells(node_vec: np.ndarray) -> np.ndarray:
+    """Average a node vector lattice (pz, py, px, 3) to cells."""
+    return (
+        node_vec[:-1, :-1, :-1]
+        + node_vec[:-1, :-1, 1:]
+        + node_vec[:-1, 1:, :-1]
+        + node_vec[:-1, 1:, 1:]
+        + node_vec[1:, :-1, :-1]
+        + node_vec[1:, :-1, 1:]
+        + node_vec[1:, 1:, :-1]
+        + node_vec[1:, 1:, 1:]
+    ) / 8.0
+
+
+def _reflect_walls(vel: np.ndarray) -> None:
+    """Zero the wall-normal velocity components (reflective box)."""
+    vel[:, :, 0, 0] = 0.0
+    vel[:, :, -1, 0] = 0.0
+    vel[:, 0, :, 1] = 0.0
+    vel[:, -1, :, 1] = 0.0
+    vel[0, :, :, 2] = 0.0
+    vel[-1, :, :, 2] = 0.0

@@ -1,0 +1,59 @@
+"""The study itself: sweeps, metrics, classification, recommendations."""
+
+from .advisor import CapRecommendation, recommend_cap, recommend_split
+from .classify import Classification, PowerClass, classify, classify_result
+from .metrics import SLOWDOWN_THRESHOLD, Ratios, element_rate, energy_delay_product, first_slowdown_cap
+from .predict import ClassPrediction, predict_class, predicted_cap
+from .report import (
+    FigureSeries,
+    figure2_series,
+    figure3_series,
+    ipc_by_size_series,
+    render_slowdown_table,
+    render_table1,
+)
+from .runner import DEFAULT_VIZ_CYCLES, RunPoint, StudyResult, StudyRunner
+from .study import (
+    ALGORITHM_NAMES,
+    DATASET_SIZES,
+    POWER_CAPS_W,
+    StudyConfig,
+    phase1_config,
+    phase2_config,
+    phase3_config,
+)
+
+__all__ = [
+    "Ratios",
+    "element_rate",
+    "energy_delay_product",
+    "first_slowdown_cap",
+    "SLOWDOWN_THRESHOLD",
+    "StudyConfig",
+    "phase1_config",
+    "phase2_config",
+    "phase3_config",
+    "POWER_CAPS_W",
+    "DATASET_SIZES",
+    "ALGORITHM_NAMES",
+    "StudyRunner",
+    "StudyResult",
+    "RunPoint",
+    "DEFAULT_VIZ_CYCLES",
+    "PowerClass",
+    "Classification",
+    "classify",
+    "classify_result",
+    "CapRecommendation",
+    "recommend_cap",
+    "recommend_split",
+    "ClassPrediction",
+    "predict_class",
+    "predicted_cap",
+    "render_table1",
+    "render_slowdown_table",
+    "figure2_series",
+    "figure3_series",
+    "ipc_by_size_series",
+    "FigureSeries",
+]

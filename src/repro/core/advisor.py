@@ -1,0 +1,81 @@
+"""Power advisor: turn the study's findings into cap recommendations.
+
+The paper's two use cases (§VII):
+
+1. *Post hoc* on a shared cluster — request the least power that keeps
+   the visualization's slowdown within tolerance, leaving headroom for
+   power-hungry co-tenants (:func:`recommend_cap`).
+2. *In situ* under a node budget — split power between simulation and
+   visualization phases (:func:`recommend_split`, which drives
+   :mod:`repro.insitu.budget`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .classify import Classification
+from .metrics import SLOWDOWN_THRESHOLD
+from .runner import RunPoint
+
+__all__ = ["CapRecommendation", "recommend_cap", "recommend_split"]
+
+
+@dataclass(frozen=True)
+class CapRecommendation:
+    """Deepest tolerable cap for one algorithm, with predicted cost."""
+
+    algorithm: str
+    size: int
+    cap_w: float
+    predicted_tratio: float
+    power_saved_w: float  # headroom released vs. the TDP baseline draw
+
+
+def recommend_cap(
+    points: list[RunPoint], *, tolerance: float = SLOWDOWN_THRESHOLD
+) -> CapRecommendation:
+    """Deepest cap whose slowdown stays within ``tolerance``.
+
+    For power-opportunity algorithms this lands at or near the RAPL
+    floor (the paper: "requesting the lowest amount of power will leave
+    more for other power-hungry applications").
+    """
+    if not points:
+        raise ValueError("need at least one run point")
+    base = max(points, key=lambda p: p.cap_w)
+    tolerable = [p for p in points if p.tratio <= 1.0 + tolerance]
+    choice = min(tolerable, key=lambda p: p.cap_w) if tolerable else base
+    return CapRecommendation(
+        algorithm=choice.algorithm,
+        size=choice.size,
+        cap_w=choice.cap_w,
+        predicted_tratio=choice.tratio,
+        power_saved_w=max(base.power_w - choice.power_w, 0.0),
+    )
+
+
+def recommend_split(
+    classification: Classification,
+    *,
+    node_budget_w: float,
+    tdp_w: float = 120.0,
+    floor_w: float = 40.0,
+) -> tuple[float, float]:
+    """(sim_cap, viz_cap) under a per-socket average budget.
+
+    Power-opportunity visualizations get the floor; power-sensitive
+    ones get their natural draw (capping them below it costs time
+    proportionally, which the runtime should decide explicitly).  The
+    simulation receives the rest of the budget headroom, clamped to
+    the RAPL range.
+    """
+    if node_budget_w <= 0:
+        raise ValueError("budget must be positive")
+    if classification.is_opportunity:
+        viz_cap = floor_w
+    else:
+        viz_cap = min(max(classification.natural_power_w, floor_w), tdp_w)
+    headroom = max(node_budget_w - viz_cap, 0.0)
+    sim_cap = min(max(node_budget_w + headroom, floor_w), tdp_w)
+    return sim_cap, viz_cap

@@ -1,0 +1,96 @@
+"""Algorithm classification: power opportunity vs. power sensitive.
+
+The study's central result: algorithms split into two classes.
+
+* **Power opportunity** (data/memory-bound): insensitive to caps until
+  deep into the range — they can be deep-capped for free, releasing
+  power to other consumers.
+* **Power sensitive** (compute-bound): high natural draw, slow down
+  roughly with frequency once the cap bites, which happens near TDP.
+
+Classification uses the paper's own evidence: where the first 10 %
+slowdown appears, backed by the natural power draw and IPC signatures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from .metrics import SLOWDOWN_THRESHOLD, first_slowdown_cap
+from .runner import RunPoint, StudyResult
+
+__all__ = ["PowerClass", "Classification", "classify", "classify_result"]
+
+
+class PowerClass(Enum):
+    OPPORTUNITY = "power opportunity"
+    SENSITIVE = "power sensitive"
+
+
+@dataclass(frozen=True)
+class Classification:
+    """One algorithm's class and the evidence behind it."""
+
+    algorithm: str
+    size: int
+    power_class: PowerClass
+    first_slowdown_cap_w: float | None
+    natural_power_w: float
+    baseline_ipc: float
+    llc_miss_rate: float
+
+    @property
+    def is_opportunity(self) -> bool:
+        return self.power_class is PowerClass.OPPORTUNITY
+
+
+def classify(
+    points: list[RunPoint],
+    *,
+    sensitive_cap_w: float = 70.0,
+    threshold: float = SLOWDOWN_THRESHOLD,
+) -> Classification:
+    """Classify one algorithm from its cap sweep at one size.
+
+    An algorithm is *power sensitive* when its first significant
+    slowdown appears at or above ``sensitive_cap_w`` (the paper's two
+    sensitive algorithms slow down at 70–80 W, ≈67 % of TDP; the
+    opportunity class holds out to 60 W and below).
+    """
+    if not points:
+        raise ValueError("need at least one run point")
+    algs = {p.algorithm for p in points}
+    sizes = {p.size for p in points}
+    if len(algs) != 1 or len(sizes) != 1:
+        raise ValueError("classify() expects one algorithm at one size")
+
+    base = max(points, key=lambda p: p.cap_w)
+    cap = first_slowdown_cap([(p.cap_w, p.tratio) for p in points], threshold=threshold)
+    sensitive = cap is not None and cap >= sensitive_cap_w
+    return Classification(
+        algorithm=base.algorithm,
+        size=base.size,
+        power_class=PowerClass.SENSITIVE if sensitive else PowerClass.OPPORTUNITY,
+        first_slowdown_cap_w=cap,
+        natural_power_w=base.power_w,
+        baseline_ipc=base.ipc,
+        llc_miss_rate=base.llc_miss_rate,
+    )
+
+
+def classify_result(
+    result: StudyResult, *, size: int | None = None, sensitive_cap_w: float = 70.0
+) -> dict[str, Classification]:
+    """Classify every algorithm in a sweep (at one size)."""
+    sizes = result.sizes
+    if size is None:
+        if len(sizes) != 1:
+            raise ValueError(f"result spans sizes {sizes}; pass size= explicitly")
+        size = sizes[0]
+    out: dict[str, Classification] = {}
+    for alg in result.algorithms:
+        pts = result.select(algorithm=alg, size=size)
+        if pts:
+            out[alg] = classify(pts, sensitive_cap_w=sensitive_cap_w)
+    return out

@@ -1,0 +1,101 @@
+"""The study's metrics (paper §V).
+
+* :class:`Ratios` — P/T/F ratios against the TDP baseline, with the
+  paper's orientation (``Pratio = P_default / P_reduced``, ``Tratio =
+  T_reduced / T_default``, ``Fratio = F_default / F_reduced`` — all ≥ 1
+  in the expected direction).
+* :func:`element_rate` — the Moreland–Oldfield efficiency rate
+  ``n / T(n, p)`` used instead of speedup (paper §V-C).
+* :func:`first_slowdown_cap` — the highest cap at which the 10 %
+  slowdown first appears as power decreases (the red cells of
+  Tables I–III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Ratios", "element_rate", "energy_delay_product", "first_slowdown_cap", "SLOWDOWN_THRESHOLD"]
+
+#: The paper's significance threshold: a 10 % slowdown.
+SLOWDOWN_THRESHOLD = 0.10
+
+
+@dataclass(frozen=True)
+class Ratios:
+    """P/T/F ratios of a capped run against the default-power run."""
+
+    pratio: float  # P_default / P_capped        (>= 1 as cap tightens)
+    tratio: float  # T_capped  / T_default       (>= 1 when slowed)
+    fratio: float  # F_default / F_capped        (>= 1 when throttled)
+
+    @classmethod
+    def from_measurements(
+        cls,
+        *,
+        cap_default_w: float,
+        cap_w: float,
+        time_default_s: float,
+        time_s: float,
+        freq_default_ghz: float,
+        freq_ghz: float,
+    ) -> "Ratios":
+        if min(cap_w, time_default_s, freq_ghz) <= 0:
+            raise ValueError("measurements must be positive")
+        return cls(
+            pratio=cap_default_w / cap_w,
+            tratio=time_s / time_default_s,
+            fratio=freq_default_ghz / freq_ghz,
+        )
+
+    @property
+    def is_good_tradeoff(self) -> bool:
+        """The paper's key comparison: data-intensive enough that the
+        slowdown is smaller than the power reduction (Tratio < Pratio)."""
+        return self.tratio < self.pratio
+
+    @property
+    def slowed_down(self) -> bool:
+        """Whether the run crossed the 10 % slowdown threshold."""
+        return self.tratio >= 1.0 + SLOWDOWN_THRESHOLD
+
+
+def element_rate(n_elements: int, time_s: float) -> float:
+    """Elements processed per second: the rate n / T(n, p) (§V-C).
+
+    Only meaningful for algorithms that iterate over every cell
+    (contour, clip, isovolume, threshold, slice) — Fig. 3's subset.
+    """
+    if time_s <= 0:
+        raise ValueError("time must be positive")
+    return n_elements / time_s
+
+
+def first_slowdown_cap(
+    rows: list[tuple[float, float]], *, threshold: float = SLOWDOWN_THRESHOLD
+) -> float | None:
+    """Highest cap whose Tratio crosses ``1 + threshold``.
+
+    ``rows`` is ``[(cap_watts, tratio), ...]`` in any order.  Returns
+    None when no cap produces a significant slowdown.  This is "the
+    first time a 10 % slowdown occurs due to the power cap" marked red
+    in the paper's tables: scanning from the deepest cap upward, the
+    paper highlights the *highest* cap in the contiguous slowed region.
+    """
+    slowed = [cap for cap, tratio in rows if tratio >= 1.0 + threshold]
+    return max(slowed) if slowed else None
+
+
+def energy_delay_product(energy_j: float, time_s: float, *, weight: int = 1) -> float:
+    """Energy-delay product ``E * T^w`` (w=1 EDP, w=2 ED²P).
+
+    The follow-on question to the paper's tables: a deep cap that costs
+    a little time but saves a lot of power *improves* EDP for the
+    power-opportunity class — the quantity a facility optimizing
+    science-per-joule actually minimizes.
+    """
+    if energy_j < 0 or time_s < 0:
+        raise ValueError("energy and time must be non-negative")
+    if weight < 1:
+        raise ValueError("weight must be at least 1")
+    return energy_j * time_s**weight

@@ -1,0 +1,100 @@
+"""Counter-based class prediction — the paper's §VIII future work.
+
+"Other visualization algorithms should be classified so informed
+decisions can be made regarding how to allocate power during
+visualization workflows."  A runtime cannot afford a 9-cap sweep for
+every new filter; but the paper's own analysis shows the classes are
+visible in *one uncapped execution*: power sensitivity correlates with
+natural draw and IPC, insensitivity with low draw and a high LLC
+appetite.
+
+:func:`predict_class` turns a single TDP run's counters into a class
+prediction plus a calibrated confidence, and :func:`predicted_cap`
+estimates the deepest safe cap without sweeping — the model a
+GEOPM/PaViz plugin would embed.  The sweep-based
+:mod:`repro.core.classify` remains the ground truth the tests compare
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.simulator import Processor, RunResult
+from ..machine.spec import MachineSpec
+from ..workload import WorkProfile
+from .classify import PowerClass
+
+__all__ = ["ClassPrediction", "predict_class", "predicted_cap"]
+
+
+@dataclass(frozen=True)
+class ClassPrediction:
+    """Predicted class from one uncapped execution's counters."""
+
+    power_class: PowerClass
+    confidence: float          # in [0.5, 1]: distance from the decision surface
+    draw_fraction: float       # natural power / TDP
+    ipc: float
+
+    @property
+    def is_opportunity(self) -> bool:
+        return self.power_class is PowerClass.OPPORTUNITY
+
+
+def predict_class(
+    run: RunResult,
+    *,
+    draw_knee: float = 0.62,
+    ipc_knee: float = 1.6,
+) -> ClassPrediction:
+    """Predict the power class from a TDP-run's counters.
+
+    The decision surface combines the two signals the paper identifies:
+    draw as a fraction of TDP (the sensitive pair sits near 70 %+ of
+    TDP) and IPC (the compute/memory divide).  An algorithm is
+    predicted *sensitive* when both exceed their knees.
+    """
+    spec = run.spec
+    draw_fraction = run.avg_power_w / spec.tdp_watts
+    ipc = run.ipc
+
+    draw_score = draw_fraction / draw_knee
+    ipc_score = ipc / ipc_knee
+    sensitive = draw_score >= 1.0 and ipc_score >= 1.0
+
+    # Confidence: how far the weaker signal sits from its knee.
+    weaker = min(draw_score, ipc_score)
+    distance = abs(weaker - 1.0)
+    confidence = min(1.0, 0.5 + distance)
+
+    return ClassPrediction(
+        power_class=PowerClass.SENSITIVE if sensitive else PowerClass.OPPORTUNITY,
+        confidence=confidence,
+        draw_fraction=draw_fraction,
+        ipc=ipc,
+    )
+
+
+def predicted_cap(
+    run: RunResult, *, tolerance: float = 0.10, margin_w: float = 3.0
+) -> float:
+    """Deepest safe cap estimated from one uncapped run, no sweep.
+
+    The mechanism the study uncovers: performance is unaffected while
+    the cap stays above the algorithm's natural draw, and degrades
+    roughly with frequency once below it.  A frequency-proportional
+    slowdown of ``tolerance`` permits dropping the cap to roughly the
+    power at frequency ``f_turbo / (1 + tolerance)``; this helper
+    approximates that point as a fixed fraction of the draw gap, then
+    clamps into the RAPL range.
+    """
+    spec: MachineSpec = run.spec
+    draw = run.avg_power_w
+    # Power scales ~V^2 f ~ f^2 near the top of the curve: a (1+tol)
+    # frequency drop buys roughly a (1+tol)^2 power reduction of the
+    # compressible (above-floor) part.
+    floor = spec.p_uncore_idle + spec.p_leak_nominal * 0.7
+    compressible = max(draw - floor, 0.0)
+    cap = floor + compressible / (1.0 + tolerance) ** 2 + margin_w
+    return float(min(max(cap, spec.rapl_floor_watts), spec.tdp_watts))

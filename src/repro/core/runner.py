@@ -1,0 +1,211 @@
+"""Study runner: execute configurations and collect measurements.
+
+The runner does what the study's harness did, with the substitutions of
+DESIGN.md §2: for each (algorithm, size) it runs the *real* algorithm
+once against the dataset to obtain its work profile — the profile is
+frequency-independent, so the 9 power caps are then evaluated on the
+simulated socket without re-running the algorithm (exactly the physics:
+capping changes the machine, not the work).
+
+Profiles are cached per (algorithm, size) so Phase 3's 288
+configurations require only 32 real algorithm executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..data.fields import DataSet
+from ..data.generators import make_dataset
+from ..machine.simulator import Processor, RunResult
+from ..machine.spec import MachineSpec
+from ..viz import ALGORITHMS
+from ..workload import WorkProfile
+from .metrics import Ratios
+from .study import StudyConfig
+
+__all__ = ["RunPoint", "StudyResult", "StudyRunner", "DEFAULT_VIZ_CYCLES"]
+
+#: Visualization cycles per run: the study couples CloverLeaf's ~87-step
+#: benchmark with per-cycle visualization; total times in its tables
+#: aggregate "all visualization cycles".
+DEFAULT_VIZ_CYCLES = 87
+
+
+@dataclass(frozen=True)
+class RunPoint:
+    """One configuration's measurements (a cell of Tables I–III)."""
+
+    algorithm: str
+    size: int
+    cap_w: float
+    time_s: float
+    energy_j: float
+    power_w: float
+    freq_ghz: float
+    ipc: float
+    llc_miss_rate: float
+    ratios: Ratios
+
+    @property
+    def pratio(self) -> float:
+        return self.ratios.pratio
+
+    @property
+    def tratio(self) -> float:
+        return self.ratios.tratio
+
+    @property
+    def fratio(self) -> float:
+        return self.ratios.fratio
+
+
+@dataclass
+class StudyResult:
+    """All RunPoints of a sweep, with selection helpers."""
+
+    config_name: str
+    points: list[RunPoint] = field(default_factory=list)
+
+    def select(
+        self, *, algorithm: str | None = None, size: int | None = None, cap_w: float | None = None
+    ) -> list[RunPoint]:
+        out = self.points
+        if algorithm is not None:
+            out = [p for p in out if p.algorithm == algorithm]
+        if size is not None:
+            out = [p for p in out if p.size == size]
+        if cap_w is not None:
+            out = [p for p in out if p.cap_w == cap_w]
+        return out
+
+    def baseline(self, algorithm: str, size: int) -> RunPoint:
+        """The default-power (highest-cap) point for an algorithm/size."""
+        rows = self.select(algorithm=algorithm, size=size)
+        if not rows:
+            raise KeyError(f"no points for {algorithm} at {size}^3")
+        return max(rows, key=lambda p: p.cap_w)
+
+    @property
+    def algorithms(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for p in self.points:
+            seen.setdefault(p.algorithm, None)
+        return list(seen)
+
+    @property
+    def sizes(self) -> list[int]:
+        return sorted({p.size for p in self.points})
+
+    @property
+    def caps(self) -> list[float]:
+        return sorted({p.cap_w for p in self.points}, reverse=True)
+
+
+class StudyRunner:
+    """Runs study configurations against the simulated socket.
+
+    Parameters
+    ----------
+    spec:
+        Machine to simulate (default: the study's Broadwell socket).
+    dataset_kind:
+        Field generator for the input data (``blobs`` approximates the
+        CloverLeaf energy field's multi-lobed shape; pass ``cloverleaf``
+        datasets directly via :meth:`set_dataset` when exact coupling
+        matters).
+    n_cycles:
+        Visualization cycles aggregated per measurement (the study
+        reports totals over all cycles).
+    """
+
+    def __init__(
+        self,
+        spec: MachineSpec | None = None,
+        *,
+        dataset_kind: str = "blobs",
+        n_cycles: int = DEFAULT_VIZ_CYCLES,
+        seed: int = 7,
+    ):
+        if n_cycles < 1:
+            raise ValueError("n_cycles must be positive")
+        self.processor = Processor(spec) if spec is not None else Processor()
+        self.dataset_kind = dataset_kind
+        self.n_cycles = int(n_cycles)
+        self.seed = seed
+        self._datasets: dict[int, DataSet] = {}
+        self._profiles: dict[tuple[str, int], WorkProfile] = {}
+
+    # ------------------------------------------------------------- datasets
+    def set_dataset(self, size: int, dataset: DataSet) -> None:
+        """Provide an explicit dataset (e.g. a CloverLeaf state) for a size."""
+        self._datasets[size] = dataset
+        # Invalidate cached profiles built from the old dataset.
+        self._profiles = {k: v for k, v in self._profiles.items() if k[1] != size}
+
+    def dataset_for(self, size: int) -> DataSet:
+        if size not in self._datasets:
+            self._datasets[size] = make_dataset(size, kind=self.dataset_kind, seed=self.seed)
+        return self._datasets[size]
+
+    # -------------------------------------------------------------- profiles
+    def profile_for(self, algorithm: str, size: int) -> WorkProfile:
+        """Real-execution work profile, scaled to ``n_cycles`` cycles."""
+        key = (algorithm, size)
+        if key not in self._profiles:
+            if algorithm not in ALGORITHMS:
+                raise KeyError(f"unknown algorithm {algorithm!r}")
+            ds = self.dataset_for(size)
+            result = ALGORITHMS[algorithm]().execute(ds)
+            profile = WorkProfile(
+                name=f"{algorithm}@{size}",
+                n_elements=result.profile.n_elements,
+                metadata=dict(result.profile.metadata, n_cycles=self.n_cycles),
+            )
+            profile.segments = [s.scaled(self.n_cycles) for s in result.profile.segments]
+            self._profiles[key] = profile
+        return self._profiles[key]
+
+    # ----------------------------------------------------------------- sweep
+    def run_config(self, config: StudyConfig) -> StudyResult:
+        """Execute a phase's full factor grid."""
+        result = StudyResult(config_name=config.name)
+        default_cap = config.default_cap_w
+        for algorithm in config.algorithms:
+            for size in config.sizes:
+                profile = self.profile_for(algorithm, size)
+                base = self.processor.run(profile, default_cap)
+                for cap in config.caps_w:
+                    run = base if cap == default_cap else self.processor.run(profile, cap)
+                    result.points.append(self._point(algorithm, size, cap, run, base, default_cap))
+        return result
+
+    def _point(
+        self,
+        algorithm: str,
+        size: int,
+        cap: float,
+        run: RunResult,
+        base: RunResult,
+        default_cap: float,
+    ) -> RunPoint:
+        ratios = Ratios.from_measurements(
+            cap_default_w=default_cap,
+            cap_w=cap,
+            time_default_s=base.time_s,
+            time_s=run.time_s,
+            freq_default_ghz=base.effective_freq_ghz,
+            freq_ghz=run.effective_freq_ghz,
+        )
+        return RunPoint(
+            algorithm=algorithm,
+            size=size,
+            cap_w=cap,
+            time_s=run.time_s,
+            energy_j=run.energy_j,
+            power_w=run.avg_power_w,
+            freq_ghz=run.effective_freq_ghz,
+            ipc=run.ipc,
+            llc_miss_rate=run.llc_miss_rate,
+            ratios=ratios,
+        )

@@ -1,0 +1,148 @@
+"""Analytic field generators for tests, examples, and standalone benchmarks.
+
+The real experiments visualize the CloverLeaf proxy's energy field; these
+generators provide cheap, well-understood stand-ins with known geometry
+(spheres, planes, vortices) so every algorithm can be validated against
+closed-form answers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .fields import Association, DataSet
+from .grid import UniformGrid
+
+__all__ = [
+    "sphere_distance",
+    "linear_ramp",
+    "gaussian_blobs",
+    "tangle_field",
+    "rotation_vector_field",
+    "abc_flow",
+    "make_dataset",
+]
+
+
+def sphere_distance(grid: UniformGrid, *, center: np.ndarray | None = None) -> np.ndarray:
+    """Point field: Euclidean distance from ``center`` (default: grid center)."""
+    c = grid.center if center is None else np.asarray(center, dtype=np.float64)
+    return np.linalg.norm(grid.point_coords() - c, axis=1)
+
+
+def linear_ramp(grid: UniformGrid, *, direction: tuple[float, float, float] = (1.0, 0.0, 0.0)) -> np.ndarray:
+    """Point field: signed distance along ``direction`` — the simplest
+    field whose isosurfaces are exact planes (used heavily by tests)."""
+    d = np.asarray(direction, dtype=np.float64)
+    norm = np.linalg.norm(d)
+    if norm == 0:
+        raise ValueError("direction must be non-zero")
+    return grid.point_coords() @ (d / norm)
+
+
+def gaussian_blobs(
+    grid: UniformGrid,
+    *,
+    n_blobs: int = 4,
+    width: float = 0.15,
+    seed: int = 7,
+) -> np.ndarray:
+    """Point field: sum of Gaussian bumps at seeded random positions.
+
+    ``width`` is the Gaussian sigma as a fraction of the grid diagonal.
+    """
+    rng = np.random.default_rng(seed)
+    b = grid.bounds
+    centers = b[:, 0] + rng.random((n_blobs, 3)) * (b[:, 1] - b[:, 0])
+    sigma = width * grid.diagonal
+    pts = grid.point_coords()
+    out = np.zeros(grid.n_points)
+    for c in centers:
+        d2 = np.sum((pts - c) ** 2, axis=1)
+        out += np.exp(-d2 / (2.0 * sigma**2))
+    return out
+
+
+def tangle_field(grid: UniformGrid) -> np.ndarray:
+    """Point field: the classic "tangle" implicit function used in
+    isosurfacing demos; produces a multi-component, high-curvature surface."""
+    b = grid.bounds
+    # Map the grid into [-3, 3]^3 where the tangle is defined.
+    p = (grid.point_coords() - b[:, 0]) / (b[:, 1] - b[:, 0]) * 6.0 - 3.0
+    x, y, z = p[:, 0], p[:, 1], p[:, 2]
+    return (
+        x**4 - 5.0 * x**2 + y**4 - 5.0 * y**2 + z**4 - 5.0 * z**2 + 11.8
+    ) * 0.2 + 0.5
+
+
+def rotation_vector_field(grid: UniformGrid, *, axis: int = 2) -> np.ndarray:
+    """Point vector field: rigid rotation about the grid-center axis.
+
+    Streamlines are exact circles, which the advection tests exploit.
+    """
+    pts = grid.point_coords() - grid.center
+    v = np.zeros_like(pts)
+    a, bax = {0: (1, 2), 1: (2, 0), 2: (0, 1)}[axis]
+    v[:, a] = -pts[:, bax]
+    v[:, bax] = pts[:, a]
+    return v
+
+
+def abc_flow(
+    grid: UniformGrid,
+    *,
+    a: float = 1.0,
+    b: float = np.sqrt(2.0 / 3.0),
+    c: float = np.sqrt(1.0 / 3.0),
+) -> np.ndarray:
+    """Point vector field: Arnold–Beltrami–Childress flow (chaotic
+    streamlines — a standard particle-advection stress test)."""
+    bounds = grid.bounds
+    p = (grid.point_coords() - bounds[:, 0]) / (bounds[:, 1] - bounds[:, 0]) * (2.0 * np.pi)
+    x, y, z = p[:, 0], p[:, 1], p[:, 2]
+    return np.stack(
+        [
+            a * np.sin(z) + c * np.cos(y),
+            b * np.sin(x) + a * np.cos(z),
+            c * np.sin(y) + b * np.cos(x),
+        ],
+        axis=1,
+    )
+
+
+def make_dataset(
+    n: int,
+    *,
+    kind: str = "blobs",
+    with_velocity: bool = True,
+    seed: int = 7,
+) -> DataSet:
+    """Build an ``n^3``-cell dataset with a scalar field named ``energy``
+    (matching the CloverLeaf field the paper renders) and optionally a
+    ``velocity`` vector field for advection.
+
+    ``kind`` selects the scalar: ``blobs``, ``sphere``, ``ramp``, or
+    ``tangle``.
+    """
+    grid = UniformGrid.cube(n)
+    ds = DataSet(grid)
+    if kind == "blobs":
+        scalar = gaussian_blobs(grid, seed=seed)
+    elif kind == "sphere":
+        scalar = sphere_distance(grid)
+    elif kind == "ramp":
+        scalar = linear_ramp(grid)
+    elif kind == "tangle":
+        scalar = tangle_field(grid)
+    else:
+        raise ValueError(f"unknown dataset kind {kind!r}")
+    ds.add_field("energy", scalar, Association.POINT)
+    if with_velocity:
+        # Blend a rotational core with ABC turbulence: mostly bounded
+        # trajectories (long streamlines) with chaotic structure, like
+        # the recirculating hydro flows the study advects through.
+        rot = rotation_vector_field(grid)
+        abc = abc_flow(grid)
+        scale = np.abs(rot).max() or 1.0
+        ds.add_field("velocity", rot / scale + 0.35 * abc, Association.POINT)
+    return ds

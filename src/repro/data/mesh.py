@@ -1,0 +1,226 @@
+"""Output geometry types produced by the visualization filters.
+
+Filters produce one of three shapes, mirroring VTK-m's output datasets:
+
+* :class:`TriangleMesh` — contour, slice, and clip boundary surfaces.
+* :class:`PolyLines` — particle advection streamlines.
+* :class:`CellSubset` / :class:`TetMesh` — threshold keeps whole hex
+  cells; clip and isovolume emit unstructured tetrahedra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TriangleMesh", "PolyLines", "CellSubset", "TetMesh"]
+
+
+@dataclass
+class TriangleMesh:
+    """An indexed triangle soup with optional per-vertex scalars.
+
+    ``points`` is ``(n, 3)`` float64; ``triangles`` is ``(m, 3)`` int64
+    indices into ``points``; ``scalars`` (if present) is ``(n,)``.
+    """
+
+    points: np.ndarray
+    triangles: np.ndarray
+    scalars: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.points = np.asarray(self.points, dtype=np.float64).reshape(-1, 3)
+        self.triangles = np.asarray(self.triangles, dtype=np.int64).reshape(-1, 3)
+        if self.scalars is not None:
+            self.scalars = np.asarray(self.scalars, dtype=np.float64).reshape(-1)
+            if self.scalars.shape[0] != self.points.shape[0]:
+                raise ValueError("scalars length must match number of points")
+        if self.triangles.size and self.triangles.max(initial=-1) >= self.points.shape[0]:
+            raise ValueError("triangle index out of range")
+        if self.triangles.size and self.triangles.min(initial=0) < 0:
+            raise ValueError("negative triangle index")
+
+    @property
+    def n_points(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def n_triangles(self) -> int:
+        return self.triangles.shape[0]
+
+    def triangle_normals(self, *, normalize: bool = True) -> np.ndarray:
+        """Per-triangle normals via the right-hand rule; ``(m, 3)``."""
+        p = self.points
+        t = self.triangles
+        e1 = p[t[:, 1]] - p[t[:, 0]]
+        e2 = p[t[:, 2]] - p[t[:, 0]]
+        n = np.cross(e1, e2)
+        if normalize:
+            lens = np.linalg.norm(n, axis=1, keepdims=True)
+            np.divide(n, lens, out=n, where=lens > 0)
+        return n
+
+    def area(self) -> float:
+        """Total surface area."""
+        n = self.triangle_normals(normalize=False)
+        return float(0.5 * np.linalg.norm(n, axis=1).sum())
+
+    def merged_with(self, other: "TriangleMesh") -> "TriangleMesh":
+        """Concatenate two meshes (indices re-based)."""
+        pts = np.vstack([self.points, other.points])
+        tris = np.vstack([self.triangles, other.triangles + self.n_points])
+        sc = None
+        if self.scalars is not None and other.scalars is not None:
+            sc = np.concatenate([self.scalars, other.scalars])
+        return TriangleMesh(pts, tris, sc)
+
+    def welded(self, *, tolerance: float = 1e-9) -> "TriangleMesh":
+        """Merge coincident vertices (within ``tolerance``) into a shared,
+        indexed mesh.
+
+        The contour/slice filters emit triangle soup (three fresh
+        vertices per triangle, as VTK-m's fast path does); welding
+        recovers connectivity for downstream consumers and for
+        watertightness checks.  Degenerate (zero-area after welding)
+        triangles are dropped.
+        """
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        if self.n_points == 0:
+            return TriangleMesh.empty()
+        key = np.round(self.points / tolerance).astype(np.int64)
+        uniq, first_idx, inverse = np.unique(
+            key, axis=0, return_index=True, return_inverse=True
+        )
+        points = self.points[first_idx]
+        tris = inverse[self.triangles]
+        ok = (
+            (tris[:, 0] != tris[:, 1])
+            & (tris[:, 1] != tris[:, 2])
+            & (tris[:, 0] != tris[:, 2])
+        )
+        scalars = self.scalars[first_idx] if self.scalars is not None else None
+        return TriangleMesh(points, tris[ok], scalars)
+
+    @classmethod
+    def empty(cls) -> "TriangleMesh":
+        return cls(np.empty((0, 3)), np.empty((0, 3), dtype=np.int64), np.empty(0))
+
+
+@dataclass
+class PolyLines:
+    """A bundle of polylines (streamlines).
+
+    ``points`` is ``(n, 3)``; ``offsets`` is ``(k + 1,)`` — line ``i``
+    spans ``points[offsets[i]:offsets[i+1]]``.
+    """
+
+    points: np.ndarray
+    offsets: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.points = np.asarray(self.points, dtype=np.float64).reshape(-1, 3)
+        self.offsets = np.asarray(self.offsets, dtype=np.int64).reshape(-1)
+        if self.offsets.size < 1 or self.offsets[0] != 0:
+            raise ValueError("offsets must start at 0")
+        if self.offsets[-1] != self.points.shape[0]:
+            raise ValueError("offsets must end at the number of points")
+        if np.any(np.diff(self.offsets) < 0):
+            raise ValueError("offsets must be non-decreasing")
+
+    @property
+    def n_lines(self) -> int:
+        return self.offsets.size - 1
+
+    def line(self, i: int) -> np.ndarray:
+        """Points of line ``i`` as an ``(m, 3)`` view."""
+        return self.points[self.offsets[i] : self.offsets[i + 1]]
+
+    def lengths(self) -> np.ndarray:
+        """Arc length of every line; ``(k,)``."""
+        out = np.zeros(self.n_lines)
+        for i in range(self.n_lines):
+            pts = self.line(i)
+            if pts.shape[0] > 1:
+                out[i] = np.linalg.norm(np.diff(pts, axis=0), axis=1).sum()
+        return out
+
+    def total_steps(self) -> int:
+        """Total advection steps represented (points minus one per line)."""
+        return int(self.points.shape[0] - self.n_lines)
+
+
+@dataclass
+class CellSubset:
+    """Whole hexahedral cells kept from a source grid (threshold output)."""
+
+    cell_ids: np.ndarray
+    cell_scalars: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.cell_ids = np.asarray(self.cell_ids, dtype=np.int64).reshape(-1)
+        if self.cell_scalars is not None:
+            self.cell_scalars = np.asarray(self.cell_scalars, dtype=np.float64).reshape(-1)
+            if self.cell_scalars.shape[0] != self.cell_ids.shape[0]:
+                raise ValueError("cell_scalars length must match cell_ids")
+
+    @property
+    def n_cells(self) -> int:
+        return self.cell_ids.shape[0]
+
+
+@dataclass
+class TetMesh:
+    """Unstructured tetrahedra (clip / isovolume output).
+
+    ``points`` is ``(n, 3)``; ``tets`` is ``(m, 4)`` indices; ``scalars``
+    optional per-point values.
+    """
+
+    points: np.ndarray
+    tets: np.ndarray
+    scalars: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.points = np.asarray(self.points, dtype=np.float64).reshape(-1, 3)
+        self.tets = np.asarray(self.tets, dtype=np.int64).reshape(-1, 4)
+        if self.scalars is not None:
+            self.scalars = np.asarray(self.scalars, dtype=np.float64).reshape(-1)
+            if self.scalars.shape[0] != self.points.shape[0]:
+                raise ValueError("scalars length must match number of points")
+        if self.tets.size and self.tets.max(initial=-1) >= self.points.shape[0]:
+            raise ValueError("tet index out of range")
+
+    @property
+    def n_points(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def n_tets(self) -> int:
+        return self.tets.shape[0]
+
+    def volumes(self) -> np.ndarray:
+        """Signed volume of every tet; ``(m,)``."""
+        p = self.points
+        t = self.tets
+        a = p[t[:, 1]] - p[t[:, 0]]
+        b = p[t[:, 2]] - p[t[:, 0]]
+        c = p[t[:, 3]] - p[t[:, 0]]
+        return np.einsum("ij,ij->i", a, np.cross(b, c)) / 6.0
+
+    def total_volume(self) -> float:
+        """Total unsigned volume."""
+        return float(np.abs(self.volumes()).sum())
+
+    def merged_with(self, other: "TetMesh") -> "TetMesh":
+        pts = np.vstack([self.points, other.points])
+        tets = np.vstack([self.tets, other.tets + self.n_points])
+        sc = None
+        if self.scalars is not None and other.scalars is not None:
+            sc = np.concatenate([self.scalars, other.scalars])
+        return TetMesh(pts, tets, sc)
+
+    @classmethod
+    def empty(cls) -> "TetMesh":
+        return cls(np.empty((0, 3)), np.empty((0, 4), dtype=np.int64), np.empty(0))

@@ -1,0 +1,12 @@
+"""Experiment harness: table/figure drivers and result emitters."""
+
+from .emit import result_to_csv, result_to_markdown, series_to_csv
+from .experiments import ExperimentHarness, effective_sizes
+
+__all__ = [
+    "ExperimentHarness",
+    "effective_sizes",
+    "result_to_csv",
+    "result_to_markdown",
+    "series_to_csv",
+]

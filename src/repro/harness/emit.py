@@ -1,0 +1,87 @@
+"""Result emitters: CSV and Markdown for sweep results and figure series."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from ..core.report import FigureSeries
+from ..core.runner import StudyResult
+
+__all__ = ["result_to_csv", "result_to_markdown", "series_to_csv"]
+
+_FIELDS = (
+    "algorithm",
+    "size",
+    "cap_w",
+    "time_s",
+    "energy_j",
+    "power_w",
+    "freq_ghz",
+    "ipc",
+    "llc_miss_rate",
+    "pratio",
+    "tratio",
+    "fratio",
+)
+
+
+def result_to_csv(result: StudyResult, path: str | Path | None = None) -> str:
+    """Serialize every run point; returns the CSV text (and writes it
+    when ``path`` is given)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(_FIELDS)
+    for p in result.points:
+        writer.writerow(
+            [
+                p.algorithm,
+                p.size,
+                f"{p.cap_w:.0f}",
+                f"{p.time_s:.6f}",
+                f"{p.energy_j:.3f}",
+                f"{p.power_w:.3f}",
+                f"{p.freq_ghz:.4f}",
+                f"{p.ipc:.4f}",
+                f"{p.llc_miss_rate:.4f}",
+                f"{p.pratio:.4f}",
+                f"{p.tratio:.4f}",
+                f"{p.fratio:.4f}",
+            ]
+        )
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def result_to_markdown(result: StudyResult, *, size: int) -> str:
+    """A compact Markdown table of Tratio per (algorithm, cap)."""
+    pts = result.select(size=size)
+    caps = sorted({p.cap_w for p in pts}, reverse=True)
+    lines = [
+        "| algorithm | " + " | ".join(f"{c:.0f}W" for c in caps) + " |",
+        "|---" * (len(caps) + 1) + "|",
+    ]
+    for alg in result.algorithms:
+        rows = {p.cap_w: p for p in result.select(algorithm=alg, size=size)}
+        if not rows:
+            continue
+        cells = " | ".join(f"{rows[c].tratio:.2f}X" for c in caps)
+        lines.append(f"| {alg} | {cells} |")
+    return "\n".join(lines)
+
+
+def series_to_csv(series: dict[str, FigureSeries], path: str | Path | None = None) -> str:
+    """Serialize figure series as long-format CSV (label, x, y)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(["label", "x", "y"])
+    for label, s in series.items():
+        for x, y in zip(s.x, s.y):
+            writer.writerow([label, f"{x:g}", f"{y:.6g}"])
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text

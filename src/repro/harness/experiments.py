@@ -1,0 +1,131 @@
+"""Experiment harness: one driver per paper table/figure.
+
+The harness wraps :class:`~repro.core.runner.StudyRunner` with a
+persistent op-count cache: each (algorithm, size) pair's real execution
+is recorded once under ``.cache/counts.pkl`` and re-priced thereafter,
+so regenerating all tables and figures after the first run takes
+seconds.  ``REPRO_MAX_SIZE`` (environment) caps the dataset sizes for
+smoke runs on small machines.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+
+from ..core.runner import DEFAULT_VIZ_CYCLES, StudyResult, StudyRunner
+from ..core.study import (
+    ALGORITHM_NAMES,
+    DATASET_SIZES,
+    StudyConfig,
+    phase1_config,
+    phase2_config,
+    phase3_config,
+)
+from ..data.fields import DataSet
+from ..data.grid import UniformGrid
+from ..viz import ALGORITHMS
+from ..viz.base import OpCounts
+from ..workload import WorkProfile
+
+__all__ = ["ExperimentHarness", "effective_sizes"]
+
+
+def effective_sizes(requested: tuple[int, ...] = DATASET_SIZES) -> tuple[int, ...]:
+    """The requested sizes, capped by the REPRO_MAX_SIZE environment
+    variable (useful to smoke-test the full harness quickly)."""
+    cap = int(os.environ.get("REPRO_MAX_SIZE", "0") or 0)
+    if cap <= 0:
+        return tuple(requested)
+    kept = tuple(s for s in requested if s <= cap)
+    # When the cap excludes every requested size, substitute the cap
+    # itself (e.g. table3's 256³ becomes a 64³ smoke run).
+    return kept if kept else (cap,)
+
+
+class ExperimentHarness:
+    """Regenerates the paper's tables and figures.
+
+    Parameters
+    ----------
+    cache_path:
+        Where recorded op ledgers live (None disables persistence).
+    n_cycles:
+        Visualization cycles aggregated per measurement.
+    """
+
+    def __init__(
+        self,
+        cache_path: str | Path | None = ".cache/counts.pkl",
+        *,
+        n_cycles: int = DEFAULT_VIZ_CYCLES,
+        seed: int = 7,
+    ):
+        self.cache_path = Path(cache_path) if cache_path else None
+        self.runner = StudyRunner(n_cycles=n_cycles, seed=seed)
+        self.n_cycles = n_cycles
+        self._counts: dict[tuple[str, int], dict] = {}
+        if self.cache_path and self.cache_path.exists():
+            self._counts = pickle.loads(self.cache_path.read_bytes())
+
+    # ------------------------------------------------------------- profiles
+    def profile(self, algorithm: str, size: int) -> WorkProfile:
+        """Profile from the ledger cache, executing for real on a miss."""
+        key = (algorithm, size)
+        if key in self._counts:
+            ds = DataSet(UniformGrid.cube(size))
+            f = ALGORITHMS[algorithm]()
+            oc = OpCounts()
+            oc.counts.update(self._counts[key])
+            prof = f.profile_from_counts(ds, oc)
+            scaled = WorkProfile(
+                name=f"{algorithm}@{size}",
+                n_elements=prof.n_elements,
+                metadata=dict(prof.metadata, n_cycles=self.n_cycles),
+            )
+            scaled.segments = [s.scaled(self.n_cycles) for s in prof.segments]
+            self.runner._profiles[key] = scaled
+            return scaled
+
+        prof = self.runner.profile_for(algorithm, size)
+        raw = prof.metadata.get("counts", {})
+        self._counts[key] = raw
+        self._save()
+        return prof
+
+    def _save(self) -> None:
+        if self.cache_path:
+            self.cache_path.parent.mkdir(parents=True, exist_ok=True)
+            self.cache_path.write_bytes(pickle.dumps(self._counts))
+
+    # ---------------------------------------------------------------- sweeps
+    def sweep(self, config: StudyConfig) -> StudyResult:
+        """Run a phase grid, pre-warming profiles through the cache."""
+        for alg in config.algorithms:
+            for size in config.sizes:
+                self.profile(alg, size)
+        return self.runner.run_config(config)
+
+    # ----------------------------------------------------- per-experiment API
+    def table1(self) -> StudyResult:
+        """Table I: contour at 128³ across the 9 caps (Phase 1)."""
+        cfg = phase1_config()
+        sizes = effective_sizes(cfg.sizes)
+        return self.sweep(StudyConfig(name=cfg.name, algorithms=cfg.algorithms, sizes=sizes))
+
+    def table2(self) -> StudyResult:
+        """Table II + Fig. 2/3: all algorithms at 128³ (Phase 2)."""
+        cfg = phase2_config()
+        sizes = effective_sizes(cfg.sizes)
+        return self.sweep(StudyConfig(name=cfg.name, algorithms=cfg.algorithms, sizes=sizes))
+
+    def table3(self) -> StudyResult:
+        """Table III: all algorithms at 256³."""
+        sizes = effective_sizes((256,))
+        return self.sweep(StudyConfig(name="table3", algorithms=ALGORITHM_NAMES, sizes=sizes))
+
+    def phase3(self) -> StudyResult:
+        """Figs. 4–6: all algorithms across all four sizes (Phase 3)."""
+        cfg = phase3_config(effective_sizes(DATASET_SIZES))
+        return self.sweep(cfg)

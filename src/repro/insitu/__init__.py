@@ -1,0 +1,27 @@
+"""In-situ coupling (Ascent substitute) and the power-budget runtime."""
+
+from .budget import BudgetDecision, PhaseCosting, advisor_allocation, uniform_allocation
+from .cluster import Cluster, ClusterResult, SocketRun, demand_aware_caps, uniform_caps
+from .coupled import CycleRecord, InSituDriver, InSituRun
+from .dynamic import DynamicCycleRecord, DynamicPowerRuntime, DynamicRunResult
+from .pipeline import Pipeline, PipelineResult
+
+__all__ = [
+    "Pipeline",
+    "PipelineResult",
+    "InSituDriver",
+    "InSituRun",
+    "CycleRecord",
+    "BudgetDecision",
+    "PhaseCosting",
+    "uniform_allocation",
+    "advisor_allocation",
+    "DynamicPowerRuntime",
+    "DynamicRunResult",
+    "DynamicCycleRecord",
+    "Cluster",
+    "ClusterResult",
+    "SocketRun",
+    "uniform_caps",
+    "demand_aware_caps",
+]

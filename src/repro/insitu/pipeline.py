@@ -1,0 +1,59 @@
+"""Visualization pipelines: ordered filter chains run in situ.
+
+Mirrors Ascent's "actions" model at the granularity the study needs: a
+pipeline is a named sequence of filters executed against the
+simulation's current dataset each visualization cycle; its work profile
+is the concatenation of the filters' profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..data.fields import DataSet
+from ..viz.base import Filter
+from ..workload import WorkProfile
+
+__all__ = ["Pipeline", "PipelineResult"]
+
+
+@dataclass
+class PipelineResult:
+    """Outputs and merged profile of one pipeline execution."""
+
+    name: str
+    outputs: list[Any]
+    profile: WorkProfile
+    counts: list[dict]
+
+
+@dataclass
+class Pipeline:
+    """A named, ordered chain of visualization filters.
+
+    Every filter runs against the *simulation's* dataset (the study's
+    filters are all one-stage against CloverLeaf fields; chaining
+    against intermediate geometry is not needed for any experiment).
+    """
+
+    name: str
+    filters: list[Filter] = field(default_factory=list)
+
+    def add(self, f: Filter) -> "Pipeline":
+        self.filters.append(f)
+        return self
+
+    def execute(self, dataset: DataSet) -> PipelineResult:
+        if not self.filters:
+            raise ValueError(f"pipeline {self.name!r} has no filters")
+        outputs: list[Any] = []
+        counts: list[dict] = []
+        merged = WorkProfile(name=self.name, n_elements=dataset.grid.n_cells)
+        for f in self.filters:
+            res = f.execute(dataset)
+            outputs.append(res.output)
+            counts.append(res.counts.as_dict())
+            merged.extend(res.profile.segments)
+        merged.validate()
+        return PipelineResult(name=self.name, outputs=outputs, profile=merged, counts=counts)

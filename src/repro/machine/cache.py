@@ -1,0 +1,171 @@
+"""Cache-hierarchy model: turn a segment's footprint into miss counts.
+
+Produces the two programmable counters the paper samples —
+``LONG_LAT_CACHE.REF`` (references that reach the LLC, i.e. L2 misses)
+and ``LONG_LAT_CACHE.MISS`` (LLC misses that go to DRAM) — plus the
+on-chip hit counts the execution model charges latency for.
+
+Two regimes, selected by the segment's access pattern:
+
+* **Sweep model** (STREAMING / STRIDED): the working set is swept
+  ``reuse_passes`` times.  The first pass is cold; later passes hit in
+  the smallest level that holds the whole set.  This captures the
+  LLC-capacity cliff between the paper's 128³ datasets (16 MB, LLC
+  resident across a contour's 10 isovalue sweeps) and 256³ (134 MB,
+  streams from DRAM every pass).
+* **Probabilistic model** (GATHER / RANDOM): each line-granular
+  reference hits a level with probability ``capacity / working_set``
+  (clamped to 1) — the standard fractional-LRU approximation for
+  data-dependent access such as BVH traversal or trilinear sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workload import AccessPattern, WorkSegment
+from .spec import MachineSpec
+
+__all__ = ["MemoryBehavior", "CacheModel"]
+
+# Traffic amplification: extra line-granular traffic per useful byte,
+# relative to a perfect unit-stride sweep.
+_AMPLIFICATION = {
+    AccessPattern.STREAMING: 1.0,
+    AccessPattern.STRIDED: 1.25,
+    AccessPattern.GATHER: 1.6,
+    AccessPattern.RANDOM: 3.5,
+}
+
+# Hardware-prefetcher effectiveness: the fraction of would-be demand LLC
+# misses whose line arrives before the demand access.  Prefetched lines
+# still cost DRAM bandwidth/latency budget but count as *hits* in the
+# LONG_LAT_CACHE demand counters the paper samples.
+_PREFETCH = {
+    AccessPattern.STREAMING: 0.70,
+    AccessPattern.STRIDED: 0.50,
+    AccessPattern.GATHER: 0.20,
+    AccessPattern.RANDOM: 0.0,
+}
+
+
+@dataclass(frozen=True)
+class MemoryBehavior:
+    """Line-granular memory traffic of one segment, by level.
+
+    ``llc_refs``/``llc_misses`` are the *demand* counters the study's
+    harness samples (LONG_LAT_CACHE.REF/MISS) — the prefetcher converts
+    a pattern-dependent share of misses into hits.  ``dram_lines`` is
+    the full line traffic that actually reaches DRAM (demand +
+    prefetch), which is what costs time and power.
+    """
+
+    l1_misses: float       # references that leave L1
+    l2_hits: float         # of those, satisfied by L2
+    llc_refs: float        # LONG_LAT_CACHE.REF: references reaching the LLC
+    llc_hits: float        # of those, satisfied by the LLC (incl. prefetched)
+    llc_misses: float      # LONG_LAT_CACHE.MISS: demand misses to DRAM
+    dram_lines: float      # lines actually fetched from DRAM
+    dram_bytes: float      # total DRAM traffic (reads + write-backs)
+    prefetched_lines: float = 0.0  # demand misses converted to hits by HW prefetch
+
+    def __post_init__(self) -> None:
+        for name in ("l1_misses", "l2_hits", "llc_refs", "llc_hits", "llc_misses", "dram_lines"):
+            if getattr(self, name) < -1e-9:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def llc_miss_rate(self) -> float:
+        """The paper's LLC miss-rate metric: MISS / REF."""
+        return self.llc_misses / self.llc_refs if self.llc_refs > 0 else 0.0
+
+
+class CacheModel:
+    """Maps a :class:`~repro.workload.WorkSegment` to its memory behavior."""
+
+    def __init__(self, spec: MachineSpec):
+        self.spec = spec
+
+    def analyze(self, segment: WorkSegment) -> MemoryBehavior:
+        spec = self.spec
+        amp = _AMPLIFICATION[segment.pattern]
+        total_lines = segment.total_bytes * amp / spec.line_bytes
+        if total_lines <= 0:
+            return MemoryBehavior(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        ws = max(segment.working_set_bytes, 1.0)
+
+        if segment.pattern in (AccessPattern.STREAMING, AccessPattern.STRIDED):
+            behavior = self._sweep(segment, total_lines, ws)
+        else:
+            behavior = self._probabilistic(total_lines, ws)
+        return self._apply_prefetch(behavior, segment.pattern)
+
+    def _apply_prefetch(self, b: MemoryBehavior, pattern: AccessPattern) -> MemoryBehavior:
+        """Convert prefetched demand misses into demand hits (counters
+        only — DRAM traffic is unchanged)."""
+        pe = _PREFETCH[pattern]
+        if pe <= 0 or b.llc_misses <= 0:
+            return b
+        prefetched = b.llc_misses * pe
+        return MemoryBehavior(
+            l1_misses=b.l1_misses,
+            l2_hits=b.l2_hits,
+            llc_refs=b.llc_refs,
+            llc_hits=b.llc_hits + prefetched,
+            llc_misses=b.llc_misses - prefetched,
+            dram_lines=b.dram_lines,
+            dram_bytes=b.dram_bytes,
+            prefetched_lines=prefetched,
+        )
+
+    # ------------------------------------------------------------------ sweep
+    def _sweep(self, segment: WorkSegment, total_lines: float, ws: float) -> MemoryBehavior:
+        spec = self.spec
+        passes = segment.reuse_passes
+        per_pass = total_lines / passes
+        warm = passes - 1.0
+
+        # Cold pass misses everywhere.
+        l1_misses = per_pass
+        llc_refs = per_pass
+        llc_misses = per_pass
+
+        # Warm passes hit in the smallest level that holds the set.
+        if warm > 0:
+            if ws <= spec.l1_total_bytes:
+                pass  # later passes never leave L1
+            elif ws <= spec.l2_total_bytes:
+                l1_misses += warm * per_pass  # L2 hits; never reach LLC
+            elif ws <= spec.llc_bytes:
+                l1_misses += warm * per_pass
+                llc_refs += warm * per_pass  # LLC hits
+            else:
+                l1_misses += warm * per_pass
+                llc_refs += warm * per_pass
+                llc_misses += warm * per_pass  # stream from DRAM every pass
+
+        l2_hits = l1_misses - llc_refs
+        llc_hits = llc_refs - llc_misses
+        dram_lines = llc_misses
+        dram_bytes = dram_lines * spec.line_bytes
+        return MemoryBehavior(
+            l1_misses, l2_hits, llc_refs, llc_hits, llc_misses, dram_lines, dram_bytes
+        )
+
+    # -------------------------------------------------------------- random
+    def _probabilistic(self, total_lines: float, ws: float) -> MemoryBehavior:
+        spec = self.spec
+        p_l1 = min(1.0, spec.l1_total_bytes / ws)
+        p_l2 = min(1.0, spec.l2_total_bytes / ws)
+        p_llc = min(1.0, spec.llc_bytes / ws)
+
+        l1_misses = total_lines * (1.0 - p_l1)
+        llc_refs = l1_misses * (1.0 - p_l2)
+        llc_misses = llc_refs * (1.0 - p_llc)
+        l2_hits = l1_misses - llc_refs
+        llc_hits = llc_refs - llc_misses
+        dram_lines = llc_misses
+        dram_bytes = dram_lines * spec.line_bytes
+        return MemoryBehavior(
+            l1_misses, l2_hits, llc_refs, llc_hits, llc_misses, dram_lines, dram_bytes
+        )

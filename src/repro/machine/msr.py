@@ -1,0 +1,84 @@
+"""MSR-style counter registers, mirroring the msr-safe interface.
+
+The paper reads its measurements through LLNL's ``msr-safe`` driver:
+64-bit model-specific registers for APERF/MPERF, fixed counters, and the
+32-bit-wrapping RAPL package-energy status register.  The simulator
+updates an :class:`MsrBank` so the sampling layer can consume readings
+exactly the way the paper's harness does — including handling the energy
+register's wraparound, which happens every few minutes at full power on
+real Broadwell parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MsrBank", "ENERGY_UNIT_J", "ENERGY_WRAP"]
+
+#: Intel RAPL energy status unit for this family: 61 microjoules.
+ENERGY_UNIT_J = 6.103515625e-05  # = 1 / 2**14 J
+
+#: The package-energy register is 32 bits of those units.
+ENERGY_WRAP = 2**32
+
+
+@dataclass
+class MsrBank:
+    """The registers the study samples, with hardware-faithful widths.
+
+    All counters monotonically increase; the energy register wraps at
+    32 bits like the real ``MSR_PKG_ENERGY_STATUS``.
+    """
+
+    aperf: float = 0.0                 # actual cycles (64-bit, never wraps here)
+    mperf: float = 0.0                 # reference (TSC-rate) cycles
+    inst_retired: float = 0.0          # INST_RETIRED.ANY
+    clk_unhalted: float = 0.0          # CPU_CLK_UNHALTED.REF_TSC
+    llc_reference: float = 0.0         # LONG_LAT_CACHE.REF
+    llc_miss: float = 0.0              # LONG_LAT_CACHE.MISS
+    _energy_j: float = field(default=0.0, repr=False)
+
+    def deposit_energy(self, joules: float) -> None:
+        """Accumulate energy into the (wrapping) package register."""
+        if joules < 0:
+            raise ValueError("energy must be non-negative")
+        self._energy_j += joules
+
+    @property
+    def pkg_energy_status(self) -> int:
+        """Raw 32-bit register value in 61 µJ units (wraps like hardware)."""
+        return int(self._energy_j / ENERGY_UNIT_J) % ENERGY_WRAP
+
+    @property
+    def total_energy_j(self) -> float:
+        """Full-precision energy (what a wrap-aware reader reconstructs)."""
+        return self._energy_j
+
+    @staticmethod
+    def energy_delta_j(status_before: int, status_after: int) -> float:
+        """Joules between two raw register reads, wrap-corrected.
+
+        Valid as long as fewer than one full wrap (~262 kJ) elapsed
+        between reads — guaranteed by the paper's 100 ms sampling.
+        """
+        raw = (status_after - status_before) % ENERGY_WRAP
+        return raw * ENERGY_UNIT_J
+
+    def effective_frequency_ghz(self, f_base_ghz: float) -> float:
+        """The paper's effective-frequency metric: APERF/MPERF × base."""
+        if self.mperf <= 0:
+            return 0.0
+        return (self.aperf / self.mperf) * f_base_ghz
+
+    def snapshot(self) -> "MsrBank":
+        """An independent copy (for delta computations by samplers)."""
+        bank = MsrBank(
+            aperf=self.aperf,
+            mperf=self.mperf,
+            inst_retired=self.inst_retired,
+            clk_unhalted=self.clk_unhalted,
+            llc_reference=self.llc_reference,
+            llc_miss=self.llc_miss,
+        )
+        bank._energy_j = self._energy_j
+        return bank

@@ -1,0 +1,94 @@
+"""Socket power model: P(frequency, activity, memory traffic).
+
+    P = P_uncore_idle
+      + P_traffic(LLC-ref rate, DRAM byte rate)          # f-insensitive
+      + n_cores * P_leak(V(f))                           # voltage-driven
+      + n_cores * c_dyn * activity * V(f)^2 * f          # dynamic CV^2f
+
+The traffic term is the load-bearing design choice: when a workload is
+bandwidth-bound, lowering the frequency does not lower the DRAM byte
+*rate* (the run takes the same wall time), so that slice of power is
+incompressible under a RAPL cap.  This is what forces the simulated
+controller to crush frequency on high-traffic algorithms like isovolume
+(large frequency ratio, modest slowdown — Table II's signature) while
+barely touching low-traffic ones like contour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .exec_model import SegmentEval
+from .spec import MachineSpec
+
+__all__ = ["PowerBreakdown", "PowerModel"]
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Per-component socket power (Watts) at one operating point."""
+
+    uncore: float
+    traffic: float
+    leakage: float
+    dynamic: float
+
+    @property
+    def total(self) -> float:
+        return self.uncore + self.traffic + self.leakage + self.dynamic
+
+
+class PowerModel:
+    """Evaluates socket power for a segment at a frequency/duty point."""
+
+    def __init__(self, spec: MachineSpec):
+        self.spec = spec
+
+    def leakage(self, f_ghz: float) -> float:
+        """Total socket leakage at the voltage for ``f_ghz`` (V² scaling)."""
+        v = self.spec.voltage(f_ghz)
+        return self.spec.p_leak_nominal * (v / self.spec.v_nominal) ** 2
+
+    def breakdown(
+        self, ev: SegmentEval, f_ghz: float, *, duty: float = 1.0
+    ) -> PowerBreakdown:
+        """Average power while the segment runs at ``f_ghz`` with ``duty``."""
+        spec = self.spec
+        t = ev.time_at(f_ghz, duty=duty)
+
+        if t > 0:
+            llc_ref_rate_g = ev.memory.llc_refs / t / 1e9      # G refs / s
+            dram_rate = ev.memory.dram_bytes / t               # B / s
+        else:
+            llc_ref_rate_g = 0.0
+            dram_rate = 0.0
+        p_traffic = (
+            spec.p_per_llc_ref_rate * llc_ref_rate_g + spec.p_per_dram_Bps * dram_rate
+        )
+
+        # Effective switching activity.  Core time splits into issue
+        # cycles (mix activity), latency-stall cycles (near-idle — this
+        # is what makes the study's low-IPC algorithms *low-power*), and
+        # DRAM-stall time (near-idle); duty-cycled time is gated.
+        dram_stall = ev.stall_fraction(f_ghz, duty=duty)
+        issue_frac = ev.issue_fraction
+        stall_alpha = (
+            spec.activity_stall_dram * ev.stall_hot_fraction
+            + spec.activity_stall * (1.0 - ev.stall_hot_fraction)
+        )
+        alpha_core = ev.activity_exec * issue_frac + stall_alpha * (1.0 - issue_frac)
+        alpha = (alpha_core * (1.0 - dram_stall) + spec.activity_stall * dram_stall) * duty
+
+        v = spec.voltage(f_ghz)
+        p_dyn = spec.n_cores * spec.c_dyn * alpha * v * v * f_ghz
+
+        return PowerBreakdown(
+            uncore=spec.p_uncore_idle,
+            traffic=p_traffic,
+            leakage=self.leakage(f_ghz),
+            dynamic=p_dyn,
+        )
+
+    def power(self, ev: SegmentEval, f_ghz: float, *, duty: float = 1.0) -> float:
+        """Total socket Watts for the segment at the operating point."""
+        return self.breakdown(ev, f_ghz, duty=duty).total

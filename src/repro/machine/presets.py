@@ -1,0 +1,84 @@
+"""Alternative machine presets — the paper's §VIII future work.
+
+"Another extension of this work is to explore how the power and
+performance tradeoffs for visualization algorithms compare across other
+architectures that provide power capping."  These presets model two
+contrasting cap-capable sockets against the study's Broadwell:
+
+* **SKYLAKE_LIKE** — a wider, hotter server core generation: more
+  cores, higher all-core turbo, bigger TDP, *smaller shared* L3 (1.375
+  MB/core non-inclusive ≈ 28 MB visible) but much larger L2.  Capacity
+  cliffs move; compute-bound work gains headroom.
+* **LOWPOWER_MANYCORE** — a throughput part (Knights-Landing-flavored):
+  many slow cores, modest turbo range, wide memory system.  Nearly
+  everything becomes latency/issue-bound and the cap range barely
+  bites — the "free deep cap" region widens.
+
+The electrical constants follow the same first-order model as the
+Broadwell calibration; they are intended for *relative* cross-
+architecture comparisons (see ``benchmarks/bench_ablation_architectures``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .spec import BROADWELL_E5_2695V4, MachineSpec
+
+__all__ = ["SKYLAKE_LIKE", "LOWPOWER_MANYCORE", "ALL_PRESETS"]
+
+
+SKYLAKE_LIKE: MachineSpec = dataclasses.replace(
+    BROADWELL_E5_2695V4,
+    name="Skylake-SP-like, 1 socket",
+    n_cores=24,
+    f_min=1.0,
+    f_base=2.4,
+    f_turbo=2.9,
+    tdp_watts=150.0,
+    rapl_floor_watts=50.0,
+    v_at_fmin=0.78,
+    v_slope=0.168,  # V(2.9) ~ 1.10
+    l2_bytes_per_core=1024 * 1024,
+    llc_bytes=28 * 1024 * 1024,
+    dram_bandwidth_Bps=95e9,
+    dram_latency_s=85e-9,
+    p_uncore_idle=16.0,
+    p_leak_nominal=22.0,
+    c_dyn=1.05,
+)
+
+LOWPOWER_MANYCORE: MachineSpec = dataclasses.replace(
+    BROADWELL_E5_2695V4,
+    name="Low-power manycore, 1 socket",
+    n_cores=64,
+    f_min=1.0,
+    f_base=1.3,
+    f_turbo=1.5,
+    tdp_watts=215.0,
+    rapl_floor_watts=120.0,
+    v_at_fmin=0.75,
+    v_slope=0.3,  # V(1.5) ~ 0.9
+    l1_bytes_per_core=32 * 1024,
+    l2_bytes_per_core=512 * 1024,
+    llc_bytes=16 * 1024 * 1024,
+    dram_bandwidth_Bps=380e9,  # MCDRAM-like
+    dram_latency_s=150e-9,
+    cpi_fp=0.8,
+    cpi_simd=0.5,
+    cpi_int=0.5,
+    cpi_load=0.8,
+    cpi_store=1.2,
+    cpi_branch=0.9,
+    cpi_other=0.5,
+    p_uncore_idle=35.0,
+    p_leak_nominal=30.0,
+    c_dyn=0.55,
+)
+
+#: Every cap-capable socket the cross-architecture study sweeps.
+ALL_PRESETS: dict[str, MachineSpec] = {
+    "broadwell": BROADWELL_E5_2695V4,
+    "skylake": SKYLAKE_LIKE,
+    "manycore": LOWPOWER_MANYCORE,
+}

@@ -1,0 +1,155 @@
+"""Machine description: the simulated processor's parameters.
+
+The default spec models one socket of LLNL RZTopaz's nodes — an Intel
+Xeon E5-2695 v4 ("Broadwell"): 18 cores, 2.1 GHz base / 2.6 GHz all-core
+turbo, 120 W TDP, RAPL-cappable down to 40 W, 45 MB LLC.  Counts and
+latencies come from public spec sheets; the electrical constants are
+first-order calibrations chosen so the eight workloads land in the power
+bands the paper reports (see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["MachineSpec", "BROADWELL_E5_2695V4"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Parameters of one simulated socket.
+
+    Frequencies are in GHz, capacities in bytes, power in Watts,
+    latencies in seconds (DRAM) or core cycles (on-chip).
+    """
+
+    name: str
+    n_cores: int
+    f_min: float
+    f_base: float
+    f_turbo: float
+    f_step: float
+    tdp_watts: float
+    rapl_floor_watts: float
+
+    # Voltage/frequency curve: V(f) = v_at_fmin + v_slope * (f - f_min).
+    v_at_fmin: float
+    v_slope: float
+
+    # Cache hierarchy (aggregate L1/L2 across cores; LLC shared).
+    l1_bytes_per_core: int
+    l2_bytes_per_core: int
+    llc_bytes: int
+    line_bytes: int
+
+    # Memory system.
+    dram_latency_s: float
+    dram_bandwidth_Bps: float
+    l2_latency_cycles: float
+    llc_latency_cycles: float
+
+    # Core pipeline: cycles-per-instruction by class at full issue.
+    cpi_fp: float
+    cpi_simd: float
+    cpi_int: float
+    cpi_load: float
+    cpi_store: float
+    cpi_branch: float
+    cpi_other: float
+
+    # Power model constants (see repro.machine.power).
+    p_uncore_idle: float          # W: fabric/IO floor
+    p_leak_nominal: float         # W: total leakage at nominal voltage
+    v_nominal: float              # V at which p_leak_nominal applies
+    c_dyn: float                  # W per (GHz * V^2) per core at activity 1
+    activity_stall: float         # effective activity stalled on L2/LLC
+    activity_stall_dram: float    # activity stalled on DRAM (prefetchers,
+                                  # uncore, outstanding-miss machinery hot)
+    dram_stall_penalty: float     # dependent-load stall multiplier when
+                                  # the working set spills out of the LLC
+    p_per_llc_ref_rate: float     # W per (G refs/s) of LLC traffic
+    p_per_dram_Bps: float         # W per (GB/s) of DRAM traffic
+
+    def __post_init__(self) -> None:
+        if not (0 < self.f_min <= self.f_base <= self.f_turbo):
+            raise ValueError("need 0 < f_min <= f_base <= f_turbo")
+        if self.rapl_floor_watts > self.tdp_watts:
+            raise ValueError("RAPL floor cannot exceed TDP")
+        if self.n_cores < 1:
+            raise ValueError("need at least one core")
+
+    # ------------------------------------------------------------- frequency
+    @property
+    def freq_bins(self) -> np.ndarray:
+        """Available frequency operating points, ascending (GHz)."""
+        n = int(round((self.f_turbo - self.f_min) / self.f_step)) + 1
+        return np.round(self.f_min + np.arange(n) * self.f_step, 6)
+
+    def voltage(self, f_ghz: float) -> float:
+        """Operating voltage at frequency ``f_ghz`` (affine DVFS curve)."""
+        return self.v_at_fmin + self.v_slope * (max(f_ghz, self.f_min) - self.f_min)
+
+    # --------------------------------------------------------------- caches
+    @property
+    def l1_total_bytes(self) -> int:
+        return self.l1_bytes_per_core * self.n_cores
+
+    @property
+    def l2_total_bytes(self) -> int:
+        return self.l2_bytes_per_core * self.n_cores
+
+    def cpi_vector(self) -> np.ndarray:
+        """Per-class issue CPI in InstructionMix field order."""
+        return np.array(
+            [
+                self.cpi_fp,
+                self.cpi_simd,
+                self.cpi_int,
+                self.cpi_load,
+                self.cpi_store,
+                self.cpi_branch,
+                self.cpi_other,
+            ]
+        )
+
+
+#: One socket of RZTopaz (Xeon E5-2695 v4).  Cache sizes, frequencies and
+#: TDP are the part's public values; electrical constants are calibrated.
+BROADWELL_E5_2695V4 = MachineSpec(
+    name="Intel Xeon E5-2695 v4 (Broadwell), 1 socket",
+    n_cores=18,
+    f_min=1.0,
+    f_base=2.1,
+    f_turbo=2.6,
+    f_step=0.1,
+    tdp_watts=120.0,
+    rapl_floor_watts=40.0,
+    v_at_fmin=0.80,
+    v_slope=0.1875,
+    l1_bytes_per_core=32 * 1024,
+    l2_bytes_per_core=256 * 1024,
+    llc_bytes=45 * 1024 * 1024,
+    line_bytes=64,
+    dram_latency_s=90e-9,
+    dram_bandwidth_Bps=65e9,
+    l2_latency_cycles=12.0,
+    llc_latency_cycles=42.0,
+    cpi_fp=0.42,
+    cpi_simd=0.36,
+    cpi_int=0.30,
+    cpi_load=0.50,
+    cpi_store=0.95,
+    cpi_branch=0.45,
+    cpi_other=0.28,
+    p_uncore_idle=13.0,
+    p_leak_nominal=17.0,
+    v_nominal=1.10,
+    c_dyn=1.11,
+    activity_stall=0.20,
+    activity_stall_dram=0.42,
+    dram_stall_penalty=1.0,
+    p_per_llc_ref_rate=2.0,
+    p_per_dram_Bps=0.9e-9,
+)

@@ -1,0 +1,71 @@
+"""Histogram: a ninth algorithm, outside the paper's studied set.
+
+The paper's §VIII: "Other visualization algorithms should be classified
+so informed decisions can be made regarding how to allocate power."
+Histogramming/binning is the canonical in-situ *data reduction* operator
+(Ascent ships one) and an obvious next candidate: a single streaming
+pass with scatter-increment updates — structurally even more data-bound
+than threshold.  The tests use it to show the sweep classifier and the
+one-run predictor agree on an algorithm neither was tuned against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.fields import DataSet
+from ..workload import AccessPattern, WorkSegment
+from .base import Filter, OpCounts, mix_per
+
+__all__ = ["Histogram"]
+
+# Per-op costs, in line with the calibrated table in costs.py: a bin
+# update is a load, an index computation, and a scatter increment, with
+# a dependent-access stall (the bin array is write-shared).
+_BIN_COST = dict(fp=2, int_alu=18, load=22, store=12, branch=6, other=8)
+_BIN_STALL = 140.0
+
+
+class Histogram(Filter):
+    """Bin a cell scalar field into a fixed-width histogram.
+
+    Output is ``(edges, counts)``; the op ledger records cells binned.
+    """
+
+    name = "histogram"
+    n_worklets = 2.0  # bin + reduce
+
+    def __init__(self, field: str = "energy", *, n_bins: int = 256):
+        if n_bins < 1:
+            raise ValueError("n_bins must be positive")
+        self.field = field
+        self.n_bins = int(n_bins)
+
+    def describe(self) -> dict:
+        return {"name": self.name, "field": self.field, "n_bins": self.n_bins}
+
+    def _apply(self, dataset: DataSet, counts: OpCounts) -> tuple[np.ndarray, np.ndarray]:
+        values = dataset.cell_field(self.field).values
+        if values.ndim != 1:
+            raise ValueError("histogram requires a scalar field")
+        hist, edges = np.histogram(values, bins=self.n_bins)
+        counts.add("cells_binned", values.size)
+        counts.add("bins", self.n_bins)
+        return edges, hist
+
+    def _segments(self, dataset: DataSet, counts: OpCounts) -> list[WorkSegment]:
+        cells = counts["cells_binned"]
+        cell_bytes = float(dataset.grid.n_cells * 8)
+        return [
+            WorkSegment(
+                name="bin",
+                mix=mix_per(cells, **_BIN_COST),
+                bytes_read=cell_bytes,
+                bytes_written=counts["bins"] * 8.0,
+                working_set_bytes=cell_bytes,
+                pattern=AccessPattern.STREAMING,
+                mlp=10.0,
+                parallel_efficiency=0.90,
+                extra_stall_cycles=cells * _BIN_STALL,
+            )
+        ]

@@ -1,0 +1,70 @@
+"""Trilinear interpolation of point fields at arbitrary world positions.
+
+Shared by particle advection (velocity lookups) and volume rendering
+(scalar samples along rays).  Fully vectorized over query positions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.grid import UniformGrid
+
+__all__ = ["trilinear"]
+
+
+def trilinear(
+    grid: UniformGrid, values: np.ndarray, positions: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Interpolate a point field at world-space ``positions``.
+
+    Parameters
+    ----------
+    values:
+        Point field, shape ``(n_points,)`` or ``(n_points, 3)``.
+    positions:
+        Query points, shape ``(m, 3)``.
+
+    Returns
+    -------
+    (result, inside):
+        ``result`` has shape ``(m,)`` or ``(m, 3)``; entries for
+        out-of-bounds queries are zero.  ``inside`` is the boolean
+        in-bounds mask.
+    """
+    positions = np.atleast_2d(np.asarray(positions, dtype=np.float64))
+    lat = grid.world_to_lattice(positions)
+    dims = np.asarray(grid.cell_dims, dtype=np.float64)
+    inside = np.all((lat >= 0.0) & (lat <= dims), axis=1)
+
+    # Clamp so boundary points use the last cell with frac = 1.
+    cell = np.minimum(np.floor(lat), dims - 1.0)
+    cell = np.maximum(cell, 0.0).astype(np.int64)
+    frac = np.clip(lat - cell, 0.0, 1.0)
+
+    px, py, _ = grid.point_dims
+    i, j, k = cell[:, 0], cell[:, 1], cell[:, 2]
+    base = i + px * (j + py * k)
+
+    fx, fy, fz = frac[:, 0], frac[:, 1], frac[:, 2]
+    wx = np.stack([1.0 - fx, fx], axis=1)
+    wy = np.stack([1.0 - fy, fy], axis=1)
+    wz = np.stack([1.0 - fz, fz], axis=1)
+
+    vec = values.ndim == 2
+    out_shape = (positions.shape[0], 3) if vec else (positions.shape[0],)
+    out = np.zeros(out_shape)
+    for dz in (0, 1):
+        for dy in (0, 1):
+            for dx in (0, 1):
+                pid = base + dx + px * (dy + py * dz)
+                w = wx[:, dx] * wy[:, dy] * wz[:, dz]
+                if vec:
+                    out += w[:, None] * values[pid]
+                else:
+                    out += w * values[pid]
+    if vec:
+        out[~inside] = 0.0
+    else:
+        out[~inside] = 0.0
+    return (out if positions.shape[0] > 1 else out, inside)

@@ -1,0 +1,83 @@
+"""Threshold: keep cells whose scalar lies in a value range.
+
+The paper's description: iterate over every cell, compare against a
+value range, keep matching cells.  Output is the kept cell subset with
+its field values — a streaming, load/store-dominated pass, which is why
+threshold shows the lowest IPC of the eight algorithms (Fig. 2b).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.fields import DataSet
+from ..data.mesh import CellSubset
+from ..workload import WorkSegment
+from .base import Filter, OpCounts, segment_from_cost
+from .costs import COSTS
+
+__all__ = ["Threshold"]
+
+
+class Threshold(Filter):
+    """Keep cells with ``lo <= value <= hi``.
+
+    Defaults mirror the study: the range is the upper half of the
+    field's value range, keeping a substantial subset.
+    """
+
+    name = "threshold"
+    n_worklets = 3.0  # predicate + scan + compact
+
+    def __init__(self, field: str = "energy", lo: float | None = None, hi: float | None = None):
+        self.field = field
+        self.lo = lo
+        self.hi = hi
+
+    def describe(self) -> dict:
+        return {"name": self.name, "field": self.field, "lo": self.lo, "hi": self.hi}
+
+    def _apply(self, dataset: DataSet, counts: OpCounts) -> CellSubset:
+        values = dataset.cell_field(self.field).values
+        if values.ndim != 1:
+            raise ValueError("threshold requires a scalar field")
+        lo, hi = self.lo, self.hi
+        if lo is None or hi is None:
+            vmin, vmax = float(values.min()), float(values.max())
+            mid = 0.5 * (vmin + vmax)
+            lo = mid if lo is None else lo
+            hi = vmax if hi is None else hi
+
+        counts.add("cells_scanned", values.size)
+        mask = (values >= lo) & (values <= hi)
+        kept = np.nonzero(mask)[0]
+        counts.add("cells_kept", kept.size)
+        return CellSubset(cell_ids=kept, cell_scalars=values[kept])
+
+    def _segments(self, dataset: DataSet, counts: OpCounts) -> list[WorkSegment]:
+        cell_bytes = float(dataset.grid.n_cells * 8)
+        pred = COSTS[("threshold", "predicate")]
+        comp = COSTS[("threshold", "compact")]
+        kept = counts["cells_kept"]
+        return [
+            # predicate + scan: two sweeps over the cell field.
+            segment_from_cost(
+                "predicate",
+                counts["cells_scanned"],
+                pred,
+                bytes_read=cell_bytes * 2.0,
+                bytes_written=counts["cells_scanned"] * 5.0,  # stencil + offsets
+                working_set_bytes=cell_bytes,
+                reuse_passes=2.0,
+            ),
+            # compact: materialize the output cell set (ids, connectivity,
+            # copied fields) — the store-heavy phase.
+            segment_from_cost(
+                "compact",
+                kept,
+                comp,
+                bytes_read=kept * 48.0,
+                bytes_written=kept * 48.0,
+                working_set_bytes=kept * 48.0,
+            ),
+        ]

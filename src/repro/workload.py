@@ -1,0 +1,242 @@
+"""Shared workload vocabulary: what an algorithm *did*, hardware-independently.
+
+The visualization filters (:mod:`repro.viz`) and the hydrodynamics proxy
+(:mod:`repro.cloverleaf`) describe each execution as a
+:class:`WorkProfile` — an ordered list of :class:`WorkSegment`\\ s, each
+carrying retired-instruction counts by class, bytes moved, working-set
+size, and memory access pattern.  The numbers are derived from the *actual
+data-dependent work performed* (cells scanned, triangles emitted, rays
+traced, ...), so the profile is a faithful, frequency-independent record
+of the computation.
+
+The simulated processor (:mod:`repro.machine`) consumes a profile and a
+power cap and produces time, energy, and performance-counter readings.
+Keeping the vocabulary here avoids a circular dependency between the two
+subpackages.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Iterable, Iterator
+
+__all__ = [
+    "AccessPattern",
+    "InstructionMix",
+    "WorkSegment",
+    "WorkProfile",
+]
+
+
+class AccessPattern(Enum):
+    """How a segment touches memory; drives the cache model's reuse estimate.
+
+    STREAMING  — unit-stride sweeps (e.g. scanning every cell once).
+    STRIDED    — regular non-unit strides (e.g. gathering 8 hex corners).
+    GATHER     — data-dependent but spatially clustered indices
+                 (e.g. interpolating along intersected cell edges).
+    RANDOM     — effectively uncorrelated addresses within the working set
+                 (e.g. BVH traversal, trilinear texture sampling).
+    """
+
+    STREAMING = "streaming"
+    STRIDED = "strided"
+    GATHER = "gather"
+    RANDOM = "random"
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Retired-instruction counts by class for one segment.
+
+    Classes follow the grouping used by the paper's counter analysis:
+    floating-point (scalar), SIMD/vector floating-point, integer ALU,
+    loads, stores, branches, and an ``other`` bucket (address generation,
+    moves, ...).  Counts are totals across all cores.
+    """
+
+    fp: float = 0.0
+    simd: float = 0.0
+    int_alu: float = 0.0
+    load: float = 0.0
+    store: float = 0.0
+    branch: float = 0.0
+    other: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total retired instructions in the segment."""
+        return self.fp + self.simd + self.int_alu + self.load + self.store + self.branch + self.other
+
+    @property
+    def memory_ops(self) -> float:
+        """Loads plus stores."""
+        return self.load + self.store
+
+    @property
+    def fp_fraction(self) -> float:
+        """Fraction of instructions that are floating point (scalar+SIMD)."""
+        t = self.total
+        return (self.fp + self.simd) / t if t > 0 else 0.0
+
+    @property
+    def memory_fraction(self) -> float:
+        """Fraction of instructions that are loads or stores."""
+        t = self.total
+        return self.memory_ops / t if t > 0 else 0.0
+
+    def scaled(self, factor: float) -> "InstructionMix":
+        """Return a copy with every class count multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError(f"scale factor must be non-negative, got {factor}")
+        return InstructionMix(
+            fp=self.fp * factor,
+            simd=self.simd * factor,
+            int_alu=self.int_alu * factor,
+            load=self.load * factor,
+            store=self.store * factor,
+            branch=self.branch * factor,
+            other=self.other * factor,
+        )
+
+    def __add__(self, other: "InstructionMix") -> "InstructionMix":
+        return InstructionMix(
+            fp=self.fp + other.fp,
+            simd=self.simd + other.simd,
+            int_alu=self.int_alu + other.int_alu,
+            load=self.load + other.load,
+            store=self.store + other.store,
+            branch=self.branch + other.branch,
+            other=self.other + other.other,
+        )
+
+
+@dataclass(frozen=True)
+class WorkSegment:
+    """One phase of an algorithm (e.g. "classify cells", "trace rays").
+
+    Parameters
+    ----------
+    name:
+        Human-readable phase name, used in reports and traces.
+    mix:
+        Retired instructions by class (totals across cores).
+    bytes_read, bytes_written:
+        Unique bytes the phase reads from / writes to memory (before
+        caching).  The cache model decides how many reach DRAM.
+    working_set_bytes:
+        The span of memory with reuse potential; compared against cache
+        capacities to derive hit fractions.
+    pattern:
+        Memory access pattern (see :class:`AccessPattern`).
+    reuse_passes:
+        How many times the working set is swept within the segment (e.g.
+        a contour with 10 isovalues sweeps the field 10 times).  Reuse
+        beyond the first pass hits in whichever level holds the set.
+    mlp:
+        Memory-level parallelism: average overlapping outstanding DRAM
+        misses per core.  Higher MLP hides latency.
+    parallel_efficiency:
+        Fraction of ideal multicore speedup achieved (load imbalance,
+        serial sections, scheduling).  In (0, 1].
+    extra_stall_cycles:
+        Dependent-load / pipeline latency cycles (totals across cores)
+        the out-of-order window cannot hide — index chains, gathers
+        resolving from L2/LLC, branch recovery.  These scale with
+        frequency like compute cycles but burn near-idle power, which
+        is precisely the signature of the study's low-IPC, low-power
+        "power opportunity" algorithms.
+    """
+
+    name: str
+    mix: InstructionMix
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    working_set_bytes: float = 0.0
+    pattern: AccessPattern = AccessPattern.STREAMING
+    reuse_passes: float = 1.0
+    mlp: float = 4.0
+    parallel_efficiency: float = 0.9
+    extra_stall_cycles: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bytes_read < 0 or self.bytes_written < 0:
+            raise ValueError("byte counts must be non-negative")
+        if not (0.0 < self.parallel_efficiency <= 1.0):
+            raise ValueError(
+                f"parallel_efficiency must be in (0, 1], got {self.parallel_efficiency}"
+            )
+        if self.mlp <= 0:
+            raise ValueError(f"mlp must be positive, got {self.mlp}")
+        if self.reuse_passes < 1.0:
+            raise ValueError(f"reuse_passes must be >= 1, got {self.reuse_passes}")
+        if self.extra_stall_cycles < 0:
+            raise ValueError("extra_stall_cycles must be non-negative")
+
+    @property
+    def total_bytes(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+    def scaled(self, factor: float) -> "WorkSegment":
+        """Scale instruction counts and traffic by ``factor`` (not the working set)."""
+        return replace(
+            self,
+            mix=self.mix.scaled(factor),
+            bytes_read=self.bytes_read * factor,
+            bytes_written=self.bytes_written * factor,
+            extra_stall_cycles=self.extra_stall_cycles * factor,
+        )
+
+
+@dataclass
+class WorkProfile:
+    """An ordered list of segments plus bookkeeping about the run.
+
+    ``n_elements`` records the input size in elements (cells) so that the
+    study layer can compute the paper's elements/second efficiency rate
+    without re-deriving it from the dataset.
+    """
+
+    name: str
+    segments: list[WorkSegment] = field(default_factory=list)
+    n_elements: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    def add(self, segment: WorkSegment) -> None:
+        self.segments.append(segment)
+
+    def extend(self, segments: Iterable[WorkSegment]) -> None:
+        self.segments.extend(segments)
+
+    def __iter__(self) -> Iterator[WorkSegment]:
+        return iter(self.segments)
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    @property
+    def total_instructions(self) -> float:
+        return sum(s.mix.total for s in self.segments)
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(s.total_bytes for s in self.segments)
+
+    def merged_with(self, other: "WorkProfile", name: str | None = None) -> "WorkProfile":
+        """Concatenate two profiles (e.g. simulation step + visualization)."""
+        merged = WorkProfile(
+            name=name or f"{self.name}+{other.name}",
+            n_elements=max(self.n_elements, other.n_elements),
+        )
+        merged.segments = list(self.segments) + list(other.segments)
+        return merged
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if any segment is degenerate."""
+        if not self.segments:
+            raise ValueError(f"profile {self.name!r} has no segments")
+        for seg in self.segments:
+            if not math.isfinite(seg.mix.total) or seg.mix.total <= 0:
+                raise ValueError(f"segment {seg.name!r} has non-positive instruction count")

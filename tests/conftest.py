@@ -1,0 +1,69 @@
+"""Shared fixtures: small grids and datasets so the suite stays fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Association, DataSet, UniformGrid
+from repro.data.generators import (
+    abc_flow,
+    gaussian_blobs,
+    linear_ramp,
+    rotation_vector_field,
+    sphere_distance,
+)
+from repro.machine import Processor
+
+
+@pytest.fixture(scope="session")
+def grid16() -> UniformGrid:
+    return UniformGrid.cube(16)
+
+
+@pytest.fixture(scope="session")
+def grid8() -> UniformGrid:
+    return UniformGrid.cube(8)
+
+
+@pytest.fixture(scope="session")
+def sphere_ds(grid16) -> DataSet:
+    """16³ dataset whose scalar is distance from the center."""
+    ds = DataSet(grid16)
+    ds.add_field("energy", sphere_distance(grid16), Association.POINT)
+    return ds
+
+
+@pytest.fixture(scope="session")
+def ramp_ds(grid16) -> DataSet:
+    """16³ dataset with a linear x-ramp (exact planar isosurfaces)."""
+    ds = DataSet(grid16)
+    ds.add_field("energy", linear_ramp(grid16), Association.POINT)
+    return ds
+
+
+@pytest.fixture(scope="session")
+def blobs_ds(grid16) -> DataSet:
+    """16³ dataset with Gaussian blobs and a rotational velocity field."""
+    ds = DataSet(grid16)
+    ds.add_field("energy", gaussian_blobs(grid16), Association.POINT)
+    ds.add_field("velocity", rotation_vector_field(grid16), Association.POINT)
+    return ds
+
+
+@pytest.fixture(scope="session")
+def abc_ds(grid16) -> DataSet:
+    ds = DataSet(grid16)
+    ds.add_field("energy", gaussian_blobs(grid16), Association.POINT)
+    ds.add_field("velocity", abc_flow(grid16), Association.POINT)
+    return ds
+
+
+@pytest.fixture(scope="session")
+def processor() -> Processor:
+    return Processor()
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)

@@ -1,0 +1,111 @@
+"""Fields, datasets, and recentering."""
+
+import numpy as np
+import pytest
+
+from repro.data import Association, DataSet, Field, UniformGrid, recenter_to_cells, recenter_to_points
+
+
+class TestField:
+    def test_scalar_field(self):
+        f = Field("s", Association.POINT, np.arange(10.0))
+        assert not f.is_vector
+        assert f.n == 10
+        assert f.range() == (0.0, 9.0)
+
+    def test_vector_field(self):
+        f = Field("v", Association.POINT, np.ones((5, 3)))
+        assert f.is_vector
+        assert f.range() == (pytest.approx(np.sqrt(3)), pytest.approx(np.sqrt(3)))
+
+    def test_bad_vector_width(self):
+        with pytest.raises(ValueError):
+            Field("v", Association.POINT, np.ones((5, 2)))
+
+    def test_bad_ndim(self):
+        with pytest.raises(ValueError):
+            Field("v", Association.POINT, np.ones((2, 2, 2)))
+
+
+class TestDataSet:
+    def test_add_and_fetch(self, grid8):
+        ds = DataSet(grid8)
+        ds.add_field("a", np.zeros(grid8.n_points))
+        assert ds.field("a").association is Association.POINT
+
+    def test_wrong_length_rejected(self, grid8):
+        ds = DataSet(grid8)
+        with pytest.raises(ValueError, match="expects"):
+            ds.add_field("a", np.zeros(7))
+
+    def test_missing_field_lists_available(self, grid8):
+        ds = DataSet(grid8)
+        ds.add_field("present", np.zeros(grid8.n_points))
+        with pytest.raises(KeyError, match="present"):
+            ds.field("absent")
+
+    def test_cell_field_autorecenter(self, grid8):
+        ds = DataSet(grid8)
+        ds.add_field("a", np.ones(grid8.n_points), Association.POINT)
+        cf = ds.cell_field("a")
+        assert cf.association is Association.CELL
+        assert cf.n == grid8.n_cells
+        np.testing.assert_allclose(cf.values, 1.0)
+
+    def test_point_field_autorecenter(self, grid8):
+        ds = DataSet(grid8)
+        ds.add_field("a", np.full(grid8.n_cells, 3.0), Association.CELL)
+        pf = ds.point_field("a")
+        assert pf.n == grid8.n_points
+        np.testing.assert_allclose(pf.values, 3.0)
+
+    def test_nbytes(self, grid8):
+        ds = DataSet(grid8)
+        ds.add_field("a", np.zeros(grid8.n_points))
+        assert ds.nbytes == grid8.n_points * 8
+
+
+class TestRecentering:
+    def test_linear_field_preserved_to_cells(self, grid8):
+        """Averaging corners of a linear field gives its cell-center value."""
+        pts = grid8.point_coords()
+        linear = 2.0 * pts[:, 0] + 3.0 * pts[:, 1] - pts[:, 2]
+        cells = recenter_to_cells(grid8, linear)
+        centers = grid8.cell_centers()
+        expected = 2.0 * centers[:, 0] + 3.0 * centers[:, 1] - centers[:, 2]
+        np.testing.assert_allclose(cells, expected)
+
+    def test_constant_roundtrip(self, grid8):
+        const = np.full(grid8.n_cells, 7.5)
+        back = recenter_to_cells(grid8, recenter_to_points(grid8, const))
+        np.testing.assert_allclose(back, 7.5)
+
+    def test_cells_to_points_mean_preserving_interior(self, grid8):
+        rng = np.random.default_rng(0)
+        cells = rng.random(grid8.n_cells)
+        pts = recenter_to_points(grid8, cells)
+        # An interior point is the exact mean of its 8 adjacent cells.
+        i, j, k = 4, 4, 4
+        nx, ny, _ = grid8.cell_dims
+        adj = [
+            cells[(i - di) + nx * ((j - dj) + ny * (k - dk))]
+            for di in (0, 1)
+            for dj in (0, 1)
+            for dk in (0, 1)
+        ]
+        pid = grid8.point_index(i, j, k)
+        assert pts[pid] == pytest.approx(np.mean(adj))
+
+    def test_corner_point_takes_corner_cell(self, grid8):
+        cells = np.zeros(grid8.n_cells)
+        cells[0] = 8.0
+        pts = recenter_to_points(grid8, cells)
+        assert pts[0] == pytest.approx(8.0)
+
+    def test_vector_recenter_shapes(self, grid8):
+        v = np.ones((grid8.n_points, 3))
+        cv = recenter_to_cells(grid8, v)
+        assert cv.shape == (grid8.n_cells, 3)
+        pv = recenter_to_points(grid8, cv)
+        assert pv.shape == (grid8.n_points, 3)
+        np.testing.assert_allclose(pv, 1.0)

@@ -1,0 +1,97 @@
+"""Analytic field generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import Association, UniformGrid
+from repro.data.generators import (
+    abc_flow,
+    gaussian_blobs,
+    linear_ramp,
+    make_dataset,
+    rotation_vector_field,
+    sphere_distance,
+    tangle_field,
+)
+
+
+class TestScalars:
+    def test_sphere_distance_center_zero(self, grid8):
+        d = sphere_distance(grid8)
+        center_pid = grid8.point_index(4, 4, 4)
+        assert d[center_pid] == pytest.approx(0.0)
+        assert d.min() >= 0.0
+
+    def test_sphere_distance_custom_center(self, grid8):
+        d = sphere_distance(grid8, center=np.zeros(3))
+        assert d[0] == pytest.approx(0.0)
+        assert d.max() == pytest.approx(grid8.diagonal)
+
+    def test_linear_ramp_is_linear(self, grid8):
+        r = linear_ramp(grid8, direction=(2.0, 0.0, 0.0))
+        pts = grid8.point_coords()
+        np.testing.assert_allclose(r, pts[:, 0])
+
+    def test_linear_ramp_rejects_zero_direction(self, grid8):
+        with pytest.raises(ValueError):
+            linear_ramp(grid8, direction=(0, 0, 0))
+
+    def test_blobs_deterministic(self, grid8):
+        np.testing.assert_array_equal(
+            gaussian_blobs(grid8, seed=3), gaussian_blobs(grid8, seed=3)
+        )
+        assert not np.array_equal(gaussian_blobs(grid8, seed=3), gaussian_blobs(grid8, seed=4))
+
+    def test_blobs_positive(self, grid8):
+        assert gaussian_blobs(grid8).min() > 0.0
+
+    def test_tangle_has_both_signs_around_default_iso(self, grid16):
+        t = tangle_field(grid16)
+        assert t.min() < 0.5 < t.max()
+
+
+class TestVectors:
+    def test_rotation_is_divergence_free_in_plane(self, grid8):
+        v = rotation_vector_field(grid8)
+        assert v.shape == (grid8.n_points, 3)
+        np.testing.assert_allclose(v[:, 2], 0.0)
+
+    def test_rotation_orthogonal_to_radius(self, grid8):
+        v = rotation_vector_field(grid8)
+        r = grid8.point_coords() - grid8.center
+        dots = np.einsum("ij,ij->i", v[:, :2], r[:, :2])
+        np.testing.assert_allclose(dots, 0.0, atol=1e-12)
+
+    def test_abc_flow_shape_and_magnitude(self, grid8):
+        v = abc_flow(grid8)
+        assert v.shape == (grid8.n_points, 3)
+        mags = np.linalg.norm(v, axis=1)
+        assert mags.max() < 3.0  # |A|+|B|+|C| bound
+
+
+class TestMakeDataset:
+    @pytest.mark.parametrize("kind", ["blobs", "sphere", "ramp", "tangle"])
+    def test_kinds(self, kind):
+        ds = make_dataset(8, kind=kind)
+        assert "energy" in ds.fields
+        assert ds.field("energy").association is Association.POINT
+        assert "velocity" in ds.fields
+
+    def test_no_velocity(self):
+        ds = make_dataset(8, with_velocity=False)
+        assert "velocity" not in ds.fields
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown dataset kind"):
+            make_dataset(8, kind="nope")
+
+    def test_velocity_mostly_recirculating(self):
+        """The blended field should keep most advected particles inside
+        (the property the advection workload depends on)."""
+        ds = make_dataset(12)
+        v = ds.field("velocity").values
+        # Rotational component dominates: mean in-plane speed exceeds
+        # mean z-speed.
+        inplane = np.linalg.norm(v[:, :2], axis=1).mean()
+        vertical = np.abs(v[:, 2]).mean()
+        assert inplane > vertical

@@ -1,0 +1,103 @@
+"""UniformGrid: indexing, geometry, and validation."""
+
+import numpy as np
+import pytest
+
+from repro.data import HEX_CORNER_OFFSETS, UniformGrid
+
+
+class TestConstruction:
+    def test_cube_factory(self):
+        g = UniformGrid.cube(8)
+        assert g.cell_dims == (8, 8, 8)
+        assert g.n_cells == 512
+        assert g.n_points == 9**3
+        np.testing.assert_allclose(g.bounds, [[0, 1], [0, 1], [0, 1]])
+
+    def test_cube_extent(self):
+        g = UniformGrid.cube(4, extent=2.0)
+        np.testing.assert_allclose(g.bounds[:, 1], [2.0, 2.0, 2.0])
+        np.testing.assert_allclose(g.spacing, [0.5, 0.5, 0.5])
+
+    def test_anisotropic(self):
+        g = UniformGrid(cell_dims=(2, 3, 4), spacing=(1.0, 0.5, 0.25))
+        assert g.n_cells == 24
+        assert g.point_dims == (3, 4, 5)
+
+    @pytest.mark.parametrize("dims", [(0, 1, 1), (1, -1, 1), (1, 1)])
+    def test_bad_dims_rejected(self, dims):
+        with pytest.raises(ValueError):
+            UniformGrid(cell_dims=dims)
+
+    def test_bad_spacing_rejected(self):
+        with pytest.raises(ValueError):
+            UniformGrid(cell_dims=(2, 2, 2), spacing=(0.0, 1.0, 1.0))
+
+    def test_zero_cube_rejected(self):
+        with pytest.raises(ValueError):
+            UniformGrid.cube(0)
+
+
+class TestIndexing:
+    def test_point_index_roundtrip(self, grid8):
+        pid = grid8.point_index(3, 4, 5)
+        coords = grid8.point_coords(np.array([pid]))[0]
+        np.testing.assert_allclose(coords, np.array([3, 4, 5]) / 8.0)
+
+    def test_cell_ijk_roundtrip(self, grid8):
+        ids = np.arange(grid8.n_cells)
+        i, j, k = grid8.cell_ijk(ids)
+        np.testing.assert_array_equal(grid8.cell_index(i, j, k), ids)
+
+    def test_cell_point_ids_shape(self, grid8):
+        cpids = grid8.cell_point_ids()
+        assert cpids.shape == (grid8.n_cells, 8)
+        assert cpids.min() >= 0
+        assert cpids.max() < grid8.n_points
+
+    def test_cell_corners_follow_vtk_order(self, grid8):
+        """Corner k of cell 0 must sit at HEX_CORNER_OFFSETS[k] * spacing."""
+        cpids = grid8.cell_point_ids(np.array([0]))[0]
+        corners = grid8.point_coords(cpids)
+        expected = HEX_CORNER_OFFSETS * np.asarray(grid8.spacing)
+        np.testing.assert_allclose(corners, expected)
+
+    def test_cell_corners_unique(self, grid8):
+        cpids = grid8.cell_point_ids(np.array([13]))[0]
+        assert len(set(cpids.tolist())) == 8
+
+    def test_subset_matches_full(self, grid8):
+        subset = np.array([0, 7, 100, grid8.n_cells - 1])
+        full = grid8.cell_point_ids()
+        np.testing.assert_array_equal(grid8.cell_point_ids(subset), full[subset])
+
+
+class TestGeometry:
+    def test_cell_centers(self, grid8):
+        c0 = grid8.cell_centers(np.array([0]))[0]
+        np.testing.assert_allclose(c0, [1 / 16, 1 / 16, 1 / 16])
+
+    def test_centers_inside_bounds(self, grid8):
+        centers = grid8.cell_centers()
+        b = grid8.bounds
+        assert (centers >= b[:, 0]).all() and (centers <= b[:, 1]).all()
+
+    def test_diagonal(self):
+        g = UniformGrid.cube(4)
+        assert g.diagonal == pytest.approx(np.sqrt(3.0))
+
+    def test_center(self, grid8):
+        np.testing.assert_allclose(grid8.center, [0.5, 0.5, 0.5])
+
+    def test_contains(self, grid8):
+        pts = np.array([[0.5, 0.5, 0.5], [1.5, 0.5, 0.5], [-0.01, 0, 0], [1.0, 1.0, 1.0]])
+        np.testing.assert_array_equal(grid8.contains(pts), [True, False, False, True])
+
+    def test_world_to_lattice(self, grid8):
+        lat = grid8.world_to_lattice(np.array([[0.5, 0.25, 1.0]]))[0]
+        np.testing.assert_allclose(lat, [4.0, 2.0, 8.0])
+
+    def test_world_to_lattice_respects_origin(self):
+        g = UniformGrid(cell_dims=(4, 4, 4), origin=(1.0, 2.0, 3.0), spacing=(0.5, 0.5, 0.5))
+        lat = g.world_to_lattice(np.array([[1.5, 2.0, 4.0]]))[0]
+        np.testing.assert_allclose(lat, [1.0, 0.0, 2.0])

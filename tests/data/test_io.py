@@ -1,0 +1,86 @@
+"""Geometry and dataset I/O."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Association,
+    DataSet,
+    TriangleMesh,
+    UniformGrid,
+    load_dataset,
+    load_obj,
+    save_dataset,
+    save_obj,
+)
+from repro.data.generators import make_dataset, sphere_distance
+from repro.viz import Contour
+
+
+class TestObj:
+    def test_roundtrip(self, tmp_path):
+        mesh = TriangleMesh(
+            np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0], [1, 1, 0.0]]),
+            np.array([[0, 1, 2], [1, 3, 2]]),
+        )
+        path = save_obj(mesh, tmp_path / "m.obj")
+        back = load_obj(path)
+        np.testing.assert_allclose(back.points, mesh.points)
+        np.testing.assert_array_equal(back.triangles, mesh.triangles)
+
+    def test_contour_mesh_roundtrip_preserves_area(self, tmp_path):
+        grid = UniformGrid.cube(12)
+        ds = DataSet(grid)
+        ds.add_field("d", sphere_distance(grid), Association.POINT)
+        mesh = Contour(field="d", isovalues=[0.3]).execute(ds).output
+        back = load_obj(save_obj(mesh, tmp_path / "c.obj"))
+        assert back.area() == pytest.approx(mesh.area(), rel=1e-6)
+
+    def test_quad_faces_fan_triangulated(self, tmp_path):
+        (tmp_path / "q.obj").write_text(
+            "v 0 0 0\nv 1 0 0\nv 1 1 0\nv 0 1 0\nf 1 2 3 4\n"
+        )
+        mesh = load_obj(tmp_path / "q.obj")
+        assert mesh.n_triangles == 2
+        assert mesh.area() == pytest.approx(1.0)
+
+    def test_slash_indices_accepted(self, tmp_path):
+        (tmp_path / "s.obj").write_text(
+            "v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1/1/1 2/2/2 3/3/3\n"
+        )
+        assert load_obj(tmp_path / "s.obj").n_triangles == 1
+
+
+class TestDatasetArchive:
+    def test_roundtrip_fields_and_grid(self, tmp_path):
+        ds = make_dataset(8)
+        path = save_dataset(ds, tmp_path / "d.npz")
+        back = load_dataset(path)
+        assert back.grid.cell_dims == ds.grid.cell_dims
+        np.testing.assert_allclose(back.grid.spacing, ds.grid.spacing)
+        assert set(back.fields) == set(ds.fields)
+        np.testing.assert_array_equal(
+            back.field("energy").values, ds.field("energy").values
+        )
+        assert back.field("velocity").is_vector
+
+    def test_associations_preserved(self, tmp_path):
+        grid = UniformGrid.cube(4)
+        ds = DataSet(grid)
+        ds.add_field("p", np.ones(grid.n_points), Association.POINT)
+        ds.add_field("c", np.ones(grid.n_cells), Association.CELL)
+        back = load_dataset(save_dataset(ds, tmp_path / "a.npz"))
+        assert back.field("p").association is Association.POINT
+        assert back.field("c").association is Association.CELL
+
+    def test_posthoc_workflow(self, tmp_path):
+        """The paper's first use case: dump the sim state, visualize
+        later from the archive."""
+        from repro.cloverleaf import CloverLeaf
+
+        cl = CloverLeaf(8)
+        cl.step(5)
+        path = save_dataset(cl.dataset(), tmp_path / "state.npz")
+        later = load_dataset(path)
+        res = Contour(field="energy").execute(later)
+        assert res.profile.total_instructions > 0

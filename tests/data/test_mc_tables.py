@@ -1,0 +1,122 @@
+"""Marching-cubes tables: generated-by-construction correctness.
+
+The tables come from a 6-tet decomposition; these tests pin down the
+properties the contour filter relies on: the decomposition tiles the
+cube, shared cube faces carry matching diagonals (crack-free meshes
+across cells), every case's triangles reference crossed edges only, and
+complementary cases mirror each other.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import CUBE_TETS, HEX_CORNER_OFFSETS, MAX_TRIS_PER_CELL, get_tables
+
+TABLES = get_tables()
+CORNERS = HEX_CORNER_OFFSETS.astype(float)
+
+
+def tet_volume(tet):
+    a, b, c, d = (CORNERS[i] for i in tet)
+    return np.dot(b - a, np.cross(c - a, d - a)) / 6.0
+
+
+class TestDecomposition:
+    def test_six_tets_tile_the_cube(self):
+        total = sum(abs(tet_volume(t)) for t in CUBE_TETS)
+        assert total == pytest.approx(1.0)
+
+    def test_all_tets_nondegenerate(self):
+        for t in CUBE_TETS:
+            assert abs(tet_volume(t)) > 0
+
+    def test_every_tet_contains_main_diagonal(self):
+        for t in CUBE_TETS:
+            assert 0 in t and 6 in t
+
+    def test_face_diagonals_match_between_neighbors(self):
+        """Opposite cube faces must carry the same diagonal in lattice
+        space, or adjacent cells crack along shared faces."""
+        edges = {tuple(e) for e in TABLES.edges.tolist()}
+        faces = {  # (face corner set, its diagonal under the decomposition)
+            "x-": ({0, 3, 7, 4}, (0, 7)),
+            "x+": ({1, 2, 6, 5}, (1, 6)),
+            "y-": ({0, 1, 5, 4}, (0, 5)),
+            "y+": ({3, 2, 6, 7}, (3, 6)),
+            "z-": ({0, 1, 2, 3}, (0, 2)),
+            "z+": ({4, 5, 6, 7}, (4, 6)),
+        }
+        for name, (corner_set, diag) in faces.items():
+            assert diag in edges, f"face {name} missing diagonal {diag}"
+            # Geometric match: the diagonal on face x+ must coincide (in
+            # lattice direction) with the x- diagonal of the next cell.
+        for minus, plus, axis in (("x-", "x+", 0), ("y-", "y+", 1), ("z-", "z+", 2)):
+            dm = faces[minus][1]
+            dp = faces[plus][1]
+            vm = CORNERS[dm[1]] - CORNERS[dm[0]]
+            vp = CORNERS[dp[1]] - CORNERS[dp[0]]
+            np.testing.assert_allclose(np.delete(vm, axis), np.delete(vp, axis))
+
+
+class TestTables:
+    def test_shapes(self):
+        assert TABLES.tri_count.shape == (256,)
+        assert TABLES.tri_edges.shape == (256, MAX_TRIS_PER_CELL, 3)
+        assert TABLES.edges.shape[1] == 2
+
+    def test_empty_cases(self):
+        assert TABLES.tri_count[0] == 0
+        assert TABLES.tri_count[255] == 0
+
+    def test_every_mixed_case_has_triangles(self):
+        for case in range(1, 255):
+            assert TABLES.tri_count[case] > 0, f"case {case} emits nothing"
+
+    def test_padding_is_minus_one(self):
+        for case in range(256):
+            n = TABLES.tri_count[case]
+            assert (TABLES.tri_edges[case, n:] == -1).all()
+            assert (TABLES.tri_edges[case, :n] >= 0).all()
+
+    def test_triangles_use_only_crossed_edges(self):
+        """Every referenced edge must straddle the inside/outside split."""
+        for case in range(256):
+            inside = [(case >> c) & 1 for c in range(8)]
+            n = TABLES.tri_count[case]
+            for eid in TABLES.tri_edges[case, :n].ravel():
+                u, v = TABLES.edges[eid]
+                assert inside[u] != inside[v], f"case {case}: edge {u}-{v} not crossed"
+
+    def test_complement_cases_have_same_triangle_count(self):
+        for case in range(256):
+            assert TABLES.tri_count[case] == TABLES.tri_count[255 - case]
+
+    def test_single_corner_case(self):
+        """Corner 0 belongs to all six tets, so its case emits 6 triangles;
+        corner 1 belongs to two tets, so its case emits 2."""
+        assert TABLES.tri_count[1] == 6
+        assert TABLES.tri_count[1 << 1] == 2
+
+
+def _case_surface_points(case: int) -> np.ndarray:
+    """Midpoint-embedded triangle vertices for a case (canonical field)."""
+    n = TABLES.tri_count[case]
+    eids = TABLES.tri_edges[case, :n]
+    mids = 0.5 * (CORNERS[TABLES.edges[eids, 0]] + CORNERS[TABLES.edges[eids, 1]])
+    return mids  # (n, 3, 3)
+
+
+class TestOrientation:
+    @given(st.integers(min_value=1, max_value=254))
+    @settings(max_examples=60, deadline=None)
+    def test_normals_point_away_from_inside(self, case):
+        inside = np.array([(case >> c) & 1 for c in range(8)], dtype=bool)
+        inside_centroid = CORNERS[inside].mean(axis=0)
+        tris = _case_surface_points(case)
+        for tri in tris:
+            normal = np.cross(tri[1] - tri[0], tri[2] - tri[0])
+            away = tri.mean(axis=0) - inside_centroid
+            # Allow ~zero for degenerate slivers; forbid inward-pointing.
+            assert float(normal @ away) >= -1e-12

@@ -1,0 +1,156 @@
+"""Output geometry containers."""
+
+import numpy as np
+import pytest
+
+from repro.data import CellSubset, PolyLines, TetMesh, TriangleMesh
+
+
+def unit_triangle():
+    pts = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0]], dtype=float)
+    return TriangleMesh(pts, np.array([[0, 1, 2]]))
+
+
+class TestTriangleMesh:
+    def test_area(self):
+        assert unit_triangle().area() == pytest.approx(0.5)
+
+    def test_normals(self):
+        n = unit_triangle().triangle_normals()
+        np.testing.assert_allclose(n, [[0, 0, 1]])
+
+    def test_normals_unnormalized(self):
+        n = unit_triangle().triangle_normals(normalize=False)
+        np.testing.assert_allclose(np.linalg.norm(n, axis=1), [1.0])
+
+    def test_merge_rebases_indices(self):
+        a, b = unit_triangle(), unit_triangle()
+        m = a.merged_with(b)
+        assert m.n_points == 6
+        assert m.n_triangles == 2
+        np.testing.assert_array_equal(m.triangles[1], [3, 4, 5])
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            TriangleMesh(np.zeros((2, 3)), np.array([[0, 1, 2]]))
+
+    def test_negative_index(self):
+        with pytest.raises(ValueError):
+            TriangleMesh(np.zeros((3, 3)), np.array([[0, 1, -1]]))
+
+    def test_scalar_length_check(self):
+        with pytest.raises(ValueError):
+            TriangleMesh(np.zeros((3, 3)), np.array([[0, 1, 2]]), scalars=np.zeros(2))
+
+    def test_empty(self):
+        m = TriangleMesh.empty()
+        assert m.n_triangles == 0
+        assert m.area() == 0.0
+
+
+class TestPolyLines:
+    def test_basic(self):
+        pts = np.array([[0, 0, 0], [1, 0, 0], [1, 1, 0], [5, 5, 5]], dtype=float)
+        pl = PolyLines(pts, np.array([0, 3, 4]))
+        assert pl.n_lines == 2
+        assert pl.line(0).shape == (3, 3)
+        assert pl.line(1).shape == (1, 3)
+
+    def test_lengths(self):
+        pts = np.array([[0, 0, 0], [1, 0, 0], [1, 1, 0]], dtype=float)
+        pl = PolyLines(pts, np.array([0, 3]))
+        np.testing.assert_allclose(pl.lengths(), [2.0])
+
+    def test_total_steps(self):
+        pts = np.zeros((5, 3))
+        pl = PolyLines(pts, np.array([0, 3, 5]))
+        assert pl.total_steps() == 3
+
+    def test_bad_offsets(self):
+        with pytest.raises(ValueError):
+            PolyLines(np.zeros((3, 3)), np.array([1, 3]))
+        with pytest.raises(ValueError):
+            PolyLines(np.zeros((3, 3)), np.array([0, 2]))
+        with pytest.raises(ValueError):
+            PolyLines(np.zeros((3, 3)), np.array([0, 2, 1, 3]))
+
+
+class TestCellSubset:
+    def test_basic(self):
+        cs = CellSubset(np.array([1, 5, 9]), np.array([0.1, 0.5, 0.9]))
+        assert cs.n_cells == 3
+
+    def test_scalar_mismatch(self):
+        with pytest.raises(ValueError):
+            CellSubset(np.array([1, 2]), np.array([0.1]))
+
+
+class TestTetMesh:
+    def test_unit_tet_volume(self):
+        pts = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1]], dtype=float)
+        tm = TetMesh(pts, np.array([[0, 1, 2, 3]]))
+        assert tm.total_volume() == pytest.approx(1.0 / 6.0)
+
+    def test_signed_volume_flips(self):
+        pts = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1]], dtype=float)
+        v1 = TetMesh(pts, np.array([[0, 1, 2, 3]])).volumes()[0]
+        v2 = TetMesh(pts, np.array([[0, 2, 1, 3]])).volumes()[0]
+        assert v1 == pytest.approx(-v2)
+
+    def test_merge(self):
+        pts = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1]], dtype=float)
+        tm = TetMesh(pts, np.array([[0, 1, 2, 3]]))
+        m = tm.merged_with(tm)
+        assert m.n_tets == 2
+        assert m.total_volume() == pytest.approx(2.0 / 6.0)
+
+    def test_empty(self):
+        assert TetMesh.empty().n_tets == 0
+
+
+class TestWelding:
+    def make_soup(self):
+        """Two triangles sharing an edge, emitted as 6-vertex soup."""
+        pts = np.array(
+            [[0, 0, 0], [1, 0, 0], [0, 1, 0],
+             [1, 0, 0], [1, 1, 0], [0, 1, 0]], dtype=float
+        )
+        return TriangleMesh(pts, np.array([[0, 1, 2], [3, 4, 5]]))
+
+    def test_weld_merges_shared_vertices(self):
+        welded = self.make_soup().welded()
+        assert welded.n_points == 4
+        assert welded.n_triangles == 2
+
+    def test_weld_preserves_area(self):
+        soup = self.make_soup()
+        assert soup.welded().area() == pytest.approx(soup.area())
+
+    def test_weld_drops_degenerate_triangles(self):
+        pts = np.array([[0, 0, 0], [1e-12, 0, 0], [0, 1e-12, 0]])
+        sliver = TriangleMesh(pts, np.array([[0, 1, 2]]))
+        assert sliver.welded(tolerance=1e-6).n_triangles == 0
+
+    def test_weld_makes_contour_manifold(self, sphere_ds=None):
+        from repro.data import Association, DataSet, UniformGrid
+        from repro.data.generators import sphere_distance
+        from repro.viz import Contour
+
+        grid = UniformGrid.cube(10)
+        ds = DataSet(grid)
+        ds.add_field("d", sphere_distance(grid), Association.POINT)
+        mesh = Contour(field="d", isovalues=[0.3]).execute(ds).output
+        welded = mesh.welded()
+        assert welded.n_points < mesh.n_points / 2  # soup -> shared verts
+        edges = np.sort(
+            np.concatenate(
+                [welded.triangles[:, [0, 1]], welded.triangles[:, [1, 2]], welded.triangles[:, [2, 0]]]
+            ),
+            axis=1,
+        )
+        _, counts = np.unique(edges, axis=0, return_counts=True)
+        assert (counts <= 2).all()  # manifold (closed surface: exactly 2)
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ValueError):
+            self.make_soup().welded(tolerance=0.0)

@@ -1,0 +1,46 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def small(monkeypatch, tmp_path):
+    # Keep CLI runs tiny and isolated from the repo-level cache.
+    monkeypatch.setenv("REPRO_MAX_SIZE", "16")
+    return tmp_path
+
+
+class TestCli:
+    def test_table1(self, capsys, small):
+        assert main(["table1", "--cache", str(small / "c.pkl"), "--cycles", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "120W" in out
+
+    def test_table2_with_csv(self, capsys, small):
+        rc = main([
+            "table2", "--cache", str(small / "c.pkl"), "--cycles", "2",
+            "--csv", str(small / "out"),
+        ])
+        assert rc == 0
+        assert (small / "out" / "table2.csv").exists()
+        out = capsys.readouterr().out
+        assert "volume" in out
+
+    def test_classify(self, capsys, small):
+        assert main(["classify", "--cache", str(small / "c.pkl"), "--cycles", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "power opportunity" in out or "power sensitive" in out
+
+    def test_max_size_flag(self, capsys, small, monkeypatch):
+        monkeypatch.delenv("REPRO_MAX_SIZE")
+        assert main([
+            "table1", "--max-size", "12", "--cache", "", "--cycles", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "@ 12^3" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nope"])

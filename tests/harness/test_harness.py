@@ -1,0 +1,88 @@
+"""Experiment harness and emitters."""
+
+import os
+
+import pytest
+
+from repro.core import StudyConfig, StudyRunner
+from repro.harness import (
+    ExperimentHarness,
+    effective_sizes,
+    result_to_csv,
+    result_to_markdown,
+    series_to_csv,
+)
+from repro.core.report import FigureSeries
+
+
+@pytest.fixture()
+def small_result():
+    runner = StudyRunner(n_cycles=2)
+    cfg = StudyConfig(name="t", algorithms=("threshold",), sizes=(16,))
+    return runner.run_config(cfg)
+
+
+class TestEffectiveSizes:
+    def test_no_cap(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MAX_SIZE", raising=False)
+        assert effective_sizes((32, 64)) == (32, 64)
+
+    def test_capped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_SIZE", "64")
+        assert effective_sizes((32, 64, 128, 256)) == (32, 64)
+
+    def test_cap_below_all_substitutes_cap(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_SIZE", "8")
+        assert effective_sizes((32, 64)) == (8,)
+
+
+class TestHarnessCache:
+    def test_profile_persisted_and_reloaded(self, tmp_path):
+        cache = tmp_path / "counts.pkl"
+        h1 = ExperimentHarness(cache, n_cycles=2)
+        p1 = h1.profile("threshold", 12)
+        assert cache.exists()
+
+        h2 = ExperimentHarness(cache, n_cycles=2)
+        p2 = h2.profile("threshold", 12)
+        assert p2.total_instructions == pytest.approx(p1.total_instructions)
+
+    def test_cached_profile_matches_fresh(self, tmp_path):
+        cache = tmp_path / "counts.pkl"
+        h = ExperimentHarness(cache, n_cycles=3)
+        fresh = h.profile("clip", 12)
+        h2 = ExperimentHarness(cache, n_cycles=3)
+        cached = h2.profile("clip", 12)
+        assert [s.name for s in cached] == [s.name for s in fresh]
+        assert cached.total_instructions == pytest.approx(fresh.total_instructions)
+
+    def test_no_cache_path(self):
+        h = ExperimentHarness(None, n_cycles=1)
+        assert h.profile("threshold", 12).total_instructions > 0
+
+    def test_sweep_uses_cache(self, tmp_path):
+        h = ExperimentHarness(tmp_path / "c.pkl", n_cycles=1)
+        cfg = StudyConfig(name="s", algorithms=("threshold",), sizes=(12,))
+        res = h.sweep(cfg)
+        assert len(res.points) == 9
+
+
+class TestEmitters:
+    def test_csv_roundtrip_fields(self, small_result, tmp_path):
+        text = result_to_csv(small_result, tmp_path / "r.csv")
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("algorithm,size,cap_w")
+        assert len(lines) == 1 + len(small_result.points)
+        assert (tmp_path / "r.csv").read_text() == text
+
+    def test_markdown_table(self, small_result):
+        md = result_to_markdown(small_result, size=16)
+        assert md.startswith("| algorithm |")
+        assert "threshold" in md
+        assert "120W" in md
+
+    def test_series_csv(self, tmp_path):
+        s = {"a": FigureSeries("a", (1.0, 2.0), (3.0, 4.0))}
+        text = series_to_csv(s, tmp_path / "s.csv")
+        assert "label,x,y" in text
+        assert "a,1,3" in text

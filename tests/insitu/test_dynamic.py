@@ -1,0 +1,70 @@
+"""Dynamic per-cycle power reallocation runtime."""
+
+import pytest
+
+from repro.cloverleaf import step_profile
+from repro.core import StudyRunner
+from repro.insitu import DynamicPowerRuntime, advisor_allocation, uniform_allocation
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    sim = step_profile(64**3, 400)
+    viz = StudyRunner(n_cycles=4).profile_for("contour", 64)
+    return sim, viz
+
+
+BUDGET = 140.0
+
+
+class TestDynamicRuntime:
+    def test_runs_requested_cycles(self, processor, profiles):
+        sim, viz = profiles
+        rt = DynamicPowerRuntime(processor, BUDGET)
+        res = rt.run(sim, viz, 5)
+        assert len(res.cycles) == 5
+
+    def test_caps_respect_budget_every_cycle(self, processor, profiles):
+        sim, viz = profiles
+        res = DynamicPowerRuntime(processor, BUDGET).run(*profiles, n_cycles=5)
+        for c in res.cycles:
+            assert c.sim_cap_w + c.viz_cap_w <= BUDGET + 1e-6
+
+    def test_converges_toward_advisor_split(self, processor, profiles):
+        """With a stationary workload the feedback controller should end
+        up feeding the hungry simulation like the static advisor does."""
+        sim, viz = profiles
+        res = DynamicPowerRuntime(processor, BUDGET).run(sim, viz, 6)
+        adv = advisor_allocation(processor, sim, viz, BUDGET)
+        sim_cap, viz_cap = res.final_caps()
+        assert sim_cap >= adv.sim_cap_w - 10.0
+        assert viz_cap <= adv.viz_cap_w + 15.0
+
+    def test_beats_static_uniform_after_first_cycle(self, processor, profiles):
+        sim, viz = profiles
+        res = DynamicPowerRuntime(processor, BUDGET).run(sim, viz, 4)
+        uni = uniform_allocation(processor, sim, viz, BUDGET)
+        # Cycle 0 *is* the uniform split; later cycles should be faster.
+        assert res.cycles[0].makespan_s == pytest.approx(uni.makespan_s, rel=1e-9)
+        assert res.cycles[-1].makespan_s < res.cycles[0].makespan_s
+
+    def test_caps_stabilize(self, processor, profiles):
+        sim, viz = profiles
+        res = DynamicPowerRuntime(processor, BUDGET).run(sim, viz, 6)
+        a, b = res.cycles[-2], res.cycles[-1]
+        assert a.sim_cap_w == pytest.approx(b.sim_cap_w, abs=6.0)
+        assert a.viz_cap_w == pytest.approx(b.viz_cap_w, abs=6.0)
+
+    def test_decide_oversubscribed_scales_down(self, processor):
+        rt = DynamicPowerRuntime(processor, 100.0)
+        sim_cap, viz_cap = rt.decide(90.0, 80.0)
+        assert sim_cap + viz_cap <= 100.0 + 1e-6
+        assert sim_cap > viz_cap  # proportional to demand
+
+    def test_budget_validation(self, processor):
+        with pytest.raises(ValueError, match="floor"):
+            DynamicPowerRuntime(processor, 50.0)
+        with pytest.raises(ValueError):
+            DynamicPowerRuntime(processor, 140.0).run(
+                step_profile(1000, 1), step_profile(1000, 1), 0
+            )

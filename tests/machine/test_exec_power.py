@@ -1,0 +1,150 @@
+"""Execution-time and power models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import BROADWELL_E5_2695V4, ExecutionModel, PowerModel
+from repro.workload import AccessPattern, InstructionMix, WorkSegment
+
+SPEC = BROADWELL_E5_2695V4
+EXEC = ExecutionModel(SPEC)
+POWER = PowerModel(SPEC)
+
+
+def compute_segment(scale=1.0):
+    """FP-dense, cache-resident: the power-sensitive archetype."""
+    return WorkSegment(
+        name="compute",
+        mix=InstructionMix(fp=2e9 * scale, simd=1e9 * scale, int_alu=5e8 * scale),
+        bytes_read=1e6 * scale,
+        working_set_bytes=1e6,
+        pattern=AccessPattern.STREAMING,
+    )
+
+
+def memory_segment(scale=1.0):
+    """Stall-heavy streaming: the power-opportunity archetype."""
+    return WorkSegment(
+        name="memory",
+        mix=InstructionMix(int_alu=2e8 * scale, load=4e8 * scale, store=2e8 * scale),
+        bytes_read=1e9 * scale,
+        bytes_written=2e8 * scale,
+        working_set_bytes=1e9,
+        pattern=AccessPattern.STREAMING,
+        extra_stall_cycles=3e9 * scale,
+    )
+
+
+class TestExecutionModel:
+    def test_time_decreases_with_frequency(self):
+        ev = EXEC.evaluate(compute_segment())
+        times = [ev.time_at(float(f)) for f in SPEC.freq_bins]
+        assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_compute_segment_scales_inverse_frequency(self):
+        ev = EXEC.evaluate(compute_segment())
+        assert ev.time_at(1.3) == pytest.approx(2 * ev.time_at(2.6), rel=1e-3)
+
+    def test_memory_time_is_frequency_floor(self):
+        """A DRAM-bandwidth-bound segment barely slows at half frequency."""
+        seg = WorkSegment(
+            name="bw",
+            mix=InstructionMix(load=1e6),
+            bytes_read=6.5e9,
+            working_set_bytes=6.5e9,
+            pattern=AccessPattern.STREAMING,
+            mlp=64.0,
+        )
+        ev = EXEC.evaluate(seg)
+        assert ev.time_at(1.3) / ev.time_at(2.6) < 1.1
+
+    def test_work_scales_linearly(self):
+        t1 = EXEC.evaluate(compute_segment(1.0)).time_at(2.6)
+        t2 = EXEC.evaluate(compute_segment(2.0)).time_at(2.6)
+        assert t2 == pytest.approx(2 * t1, rel=1e-9)
+
+    def test_parallel_efficiency_slows(self):
+        fast = EXEC.evaluate(compute_segment())
+        seg = WorkSegment(
+            name="c",
+            mix=compute_segment().mix,
+            bytes_read=1e6,
+            working_set_bytes=1e6,
+            parallel_efficiency=0.45,
+        )  # half the effective cores -> about twice the time
+        slow = EXEC.evaluate(seg)
+        assert slow.time_at(2.6) == pytest.approx(2 * fast.time_at(2.6), rel=0.05)
+
+    def test_stall_cycles_lower_issue_fraction(self):
+        ev = EXEC.evaluate(memory_segment())
+        assert ev.issue_fraction < 0.5
+        assert EXEC.evaluate(compute_segment()).issue_fraction > 0.9
+
+    def test_llc_spill_marks_stalls_hot(self):
+        small = WorkSegment(
+            name="a", mix=InstructionMix(load=1e8), bytes_read=1e7,
+            working_set_bytes=1e6, extra_stall_cycles=1e9,
+        )
+        big = WorkSegment(
+            name="b", mix=InstructionMix(load=1e8), bytes_read=1e7,
+            working_set_bytes=10 * SPEC.llc_bytes, extra_stall_cycles=1e9,
+        )
+        assert EXEC.evaluate(small).stall_hot_fraction == 0.0
+        assert EXEC.evaluate(big).stall_hot_fraction > 0.5
+
+    def test_duty_cycle_slows_core_part(self):
+        ev = EXEC.evaluate(compute_segment())
+        assert ev.time_at(2.6, duty=0.5) == pytest.approx(2 * ev.time_at(2.6), rel=1e-3)
+
+    def test_invalid_args(self):
+        ev = EXEC.evaluate(compute_segment())
+        with pytest.raises(ValueError):
+            ev.time_at(0.0)
+        with pytest.raises(ValueError):
+            ev.time_at(2.0, duty=0.0)
+        with pytest.raises(ValueError):
+            ev.time_at(2.0, duty=1.5)
+
+
+class TestPowerModel:
+    def test_compute_hotter_than_memory(self):
+        pc = POWER.power(EXEC.evaluate(compute_segment()), 2.6)
+        pm = POWER.power(EXEC.evaluate(memory_segment()), 2.6)
+        assert pc > pm + 15.0
+
+    def test_power_monotone_in_frequency(self):
+        ev = EXEC.evaluate(compute_segment())
+        p = [POWER.power(ev, float(f)) for f in SPEC.freq_bins]
+        assert all(b > a for a, b in zip(p, p[1:]))
+
+    def test_breakdown_sums_to_total(self):
+        ev = EXEC.evaluate(compute_segment())
+        bd = POWER.breakdown(ev, 2.0)
+        assert bd.total == pytest.approx(bd.uncore + bd.traffic + bd.leakage + bd.dynamic)
+
+    def test_compute_band_near_paper(self):
+        """FP/SIMD-dense work draws in the 80-95 W band at turbo (the
+        paper's power-sensitive pair sits ~85 W)."""
+        p = POWER.power(EXEC.evaluate(compute_segment()), SPEC.f_turbo)
+        assert 75.0 < p < 100.0
+
+    def test_memory_band_near_paper(self):
+        """Stall-heavy work draws in the ~45-65 W band at turbo (the
+        paper: visualization draws as low as 55 W)."""
+        p = POWER.power(EXEC.evaluate(memory_segment()), SPEC.f_turbo)
+        assert 40.0 < p < 70.0
+
+    def test_leakage_tracks_voltage(self):
+        assert POWER.leakage(2.6) > POWER.leakage(1.0)
+
+    def test_duty_reduces_power(self):
+        ev = EXEC.evaluate(compute_segment())
+        assert POWER.power(ev, 1.0, duty=0.3) < POWER.power(ev, 1.0)
+
+    @given(f=st.floats(min_value=1.0, max_value=2.6))
+    @settings(max_examples=25, deadline=None)
+    def test_property_power_above_floor(self, f):
+        ev = EXEC.evaluate(memory_segment())
+        assert POWER.power(ev, f) > SPEC.p_uncore_idle

@@ -1,0 +1,68 @@
+"""Cross-architecture presets (§VIII extension)."""
+
+import pytest
+
+from repro.machine import ALL_PRESETS, BROADWELL_E5_2695V4, LOWPOWER_MANYCORE, SKYLAKE_LIKE, Processor
+from repro.workload import InstructionMix, WorkProfile, WorkSegment
+
+
+def fp_profile(scale=1.0):
+    return WorkProfile(
+        "fp",
+        [
+            WorkSegment(
+                name="hot",
+                mix=InstructionMix(fp=1e10 * scale, simd=5e9 * scale),
+                bytes_read=1e7,
+                working_set_bytes=1e7,
+            )
+        ],
+    )
+
+
+class TestPresets:
+    def test_registry_contents(self):
+        assert set(ALL_PRESETS) == {"broadwell", "skylake", "manycore"}
+        assert ALL_PRESETS["broadwell"] is BROADWELL_E5_2695V4
+
+    def test_presets_are_valid_specs(self):
+        for spec in ALL_PRESETS.values():
+            assert spec.f_min <= spec.f_base <= spec.f_turbo
+            assert spec.rapl_floor_watts < spec.tdp_watts
+            bins = spec.freq_bins
+            assert bins[0] == pytest.approx(spec.f_min)
+            assert bins[-1] == pytest.approx(spec.f_turbo)
+
+    def test_every_preset_executes_profiles(self):
+        prof = fp_profile()
+        for name, spec in ALL_PRESETS.items():
+            proc = Processor(spec)
+            r = proc.run(prof, spec.tdp_watts)
+            assert r.time_s > 0 and r.avg_power_w < spec.tdp_watts + 1e-9, name
+
+    def test_skylake_faster_on_compute(self):
+        """More, faster cores finish FP work sooner at TDP."""
+        prof = fp_profile()
+        t_bdw = Processor(BROADWELL_E5_2695V4).run(prof).time_s
+        t_skx = Processor(SKYLAKE_LIKE).run(prof).time_s
+        assert t_skx < t_bdw
+
+    def test_manycore_narrow_cap_leverage(self):
+        """The low-power part's small DVFS range means the deepest cap
+        hurts compute-bound work far less than on Broadwell."""
+        prof = fp_profile()
+        slowdowns = {}
+        for name, spec in (("broadwell", BROADWELL_E5_2695V4), ("manycore", LOWPOWER_MANYCORE)):
+            proc = Processor(spec)
+            base = proc.run(prof, spec.tdp_watts)
+            deep = proc.run(prof, spec.rapl_floor_watts)
+            slowdowns[name] = deep.time_s / base.time_s
+        assert slowdowns["manycore"] < slowdowns["broadwell"]
+
+    def test_caps_respected_on_all_presets(self):
+        prof = fp_profile()
+        for spec in ALL_PRESETS.values():
+            proc = Processor(spec)
+            cap = (spec.rapl_floor_watts + spec.tdp_watts) / 2
+            r = proc.run(prof, cap)
+            assert r.avg_power_w <= cap + 1e-6 or not r.cap_met

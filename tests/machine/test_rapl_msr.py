@@ -1,0 +1,138 @@
+"""RAPL controller and MSR emulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import (
+    BROADWELL_E5_2695V4,
+    ENERGY_UNIT_J,
+    ENERGY_WRAP,
+    MIN_DUTY,
+    ExecutionModel,
+    MsrBank,
+    PowerModel,
+    RaplController,
+)
+from repro.workload import AccessPattern, InstructionMix, WorkSegment
+
+SPEC = BROADWELL_E5_2695V4
+EXEC = ExecutionModel(SPEC)
+RAPL = RaplController(SPEC)
+
+
+def hot_segment():
+    return WorkSegment(
+        name="hot",
+        mix=InstructionMix(fp=2e9, simd=2e9),
+        bytes_read=1e6,
+        working_set_bytes=1e6,
+    )
+
+
+def cool_segment():
+    return WorkSegment(
+        name="cool",
+        mix=InstructionMix(load=5e8, int_alu=2e8),
+        bytes_read=5e8,
+        working_set_bytes=5e8,
+        extra_stall_cycles=2e9,
+    )
+
+
+class TestController:
+    def test_uncapped_runs_turbo(self):
+        op = RAPL.operating_point(EXEC.evaluate(hot_segment()), SPEC.tdp_watts)
+        assert op.f_ghz == pytest.approx(SPEC.f_turbo)
+        assert op.duty == 1.0 and op.cap_met
+
+    def test_cap_respected(self):
+        for cap in (100.0, 80.0, 60.0, 40.0):
+            op = RAPL.operating_point(EXEC.evaluate(hot_segment()), cap)
+            assert op.power_w <= cap + 1e-9
+            assert op.cap_met
+
+    def test_frequency_monotone_in_cap(self):
+        ev = EXEC.evaluate(hot_segment())
+        freqs = [RAPL.operating_point(ev, float(c)).f_ghz for c in range(120, 30, -10)]
+        assert all(a >= b for a, b in zip(freqs, freqs[1:]))
+
+    def test_cool_workload_keeps_turbo_under_deep_cap(self):
+        """The study's central observation: low-power algorithms keep
+        their frequency until the cap approaches their natural draw."""
+        ev = EXEC.evaluate(cool_segment())
+        natural = RAPL.power_model.power(ev, SPEC.f_turbo)
+        op = RAPL.operating_point(ev, natural + 1.0)
+        assert op.f_ghz == pytest.approx(SPEC.f_turbo)
+
+    def test_cap_clamped_to_range(self):
+        assert RAPL.validate_cap(500.0) == SPEC.tdp_watts
+        assert RAPL.validate_cap(10.0) == SPEC.rapl_floor_watts
+        with pytest.raises(ValueError):
+            RAPL.validate_cap(-1.0)
+
+    def test_duty_cycling_engages_when_pstates_insufficient(self):
+        """A traffic-monster segment under the floor cap must throttle."""
+        seg = WorkSegment(
+            name="monster",
+            mix=InstructionMix(fp=5e9, simd=5e9, load=2e9),
+            bytes_read=2e11,
+            working_set_bytes=1e12,
+            pattern=AccessPattern.RANDOM,
+            mlp=64.0,
+            extra_stall_cycles=0.0,
+        )
+        ev = EXEC.evaluate(seg)
+        op = RAPL.operating_point(ev, 40.0)
+        if op.duty < 1.0:
+            assert op.f_ghz == pytest.approx(SPEC.f_min)
+            assert op.duty >= MIN_DUTY
+
+    @given(cap=st.floats(min_value=40.0, max_value=120.0))
+    @settings(max_examples=30, deadline=None)
+    def test_property_cap_always_met_or_flagged(self, cap):
+        for seg in (hot_segment(), cool_segment()):
+            op = RAPL.operating_point(EXEC.evaluate(seg), cap)
+            assert op.power_w <= cap + 1e-6 or not op.cap_met
+
+
+class TestMsr:
+    def test_energy_accumulates(self):
+        m = MsrBank()
+        m.deposit_energy(12.5)
+        m.deposit_energy(7.5)
+        assert m.total_energy_j == pytest.approx(20.0)
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError):
+            MsrBank().deposit_energy(-1.0)
+
+    def test_register_wraps_like_hardware(self):
+        m = MsrBank()
+        wrap_joules = ENERGY_WRAP * ENERGY_UNIT_J
+        m.deposit_energy(wrap_joules + 5.0)
+        assert m.pkg_energy_status == pytest.approx(5.0 / ENERGY_UNIT_J, abs=1)
+
+    def test_delta_across_wrap(self):
+        before = ENERGY_WRAP - 100
+        after = 50
+        d = MsrBank.energy_delta_j(before, after)
+        assert d == pytest.approx(150 * ENERGY_UNIT_J)
+
+    def test_effective_frequency(self):
+        m = MsrBank()
+        m.aperf = 2.6e9
+        m.mperf = 2.1e9
+        assert m.effective_frequency_ghz(2.1) == pytest.approx(2.6)
+
+    def test_effective_frequency_zero_mperf(self):
+        assert MsrBank().effective_frequency_ghz(2.1) == 0.0
+
+    def test_snapshot_is_independent(self):
+        m = MsrBank()
+        m.deposit_energy(1.0)
+        snap = m.snapshot()
+        m.deposit_energy(1.0)
+        assert snap.total_energy_j == pytest.approx(1.0)
+        assert m.total_energy_j == pytest.approx(2.0)

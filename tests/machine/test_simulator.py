@@ -1,0 +1,115 @@
+"""Processor simulator: closed-form vs. traced runs, counters, sampling."""
+
+import numpy as np
+import pytest
+
+from repro.machine import Processor
+from repro.workload import AccessPattern, InstructionMix, WorkProfile, WorkSegment
+
+
+def make_profile(name="p", scale=1.0):
+    return WorkProfile(
+        name,
+        [
+            WorkSegment(
+                name="hot",
+                mix=InstructionMix(fp=1.5e10 * scale, simd=6e9 * scale, int_alu=3e9 * scale),
+                bytes_read=1e7 * scale,
+                working_set_bytes=1e7,
+            ),
+            WorkSegment(
+                name="cool",
+                mix=InstructionMix(load=6e9 * scale, int_alu=3e9 * scale, store=2e9 * scale),
+                bytes_read=2e9 * scale,
+                working_set_bytes=2e8,
+                extra_stall_cycles=3e10 * scale,
+            ),
+        ],
+    )
+
+
+class TestClosedForm:
+    def test_energy_equals_power_times_time(self, processor):
+        r = processor.run(make_profile(), 100.0)
+        total = sum(rec.power_w * rec.time_s for rec in r.records)
+        assert r.energy_j == pytest.approx(total, rel=1e-12)
+        assert r.msr.total_energy_j == pytest.approx(r.energy_j, rel=1e-12)
+
+    def test_time_monotone_in_cap(self, processor):
+        prof = make_profile()
+        times = [processor.run(prof, float(c)).time_s for c in range(120, 30, -10)]
+        assert all(b >= a - 1e-12 for a, b in zip(times, times[1:]))
+
+    def test_default_cap_is_tdp(self, processor):
+        assert processor.run(make_profile()).cap_watts == processor.spec.tdp_watts
+
+    def test_counters_accumulate_all_segments(self, processor):
+        prof = make_profile()
+        r = processor.run(prof, 120.0)
+        assert r.instructions == pytest.approx(prof.total_instructions)
+        assert r.msr.inst_retired == pytest.approx(prof.total_instructions)
+
+    def test_effective_frequency_at_tdp_is_turbo(self, processor):
+        r = processor.run(make_profile(), 120.0)
+        assert r.effective_freq_ghz == pytest.approx(processor.spec.f_turbo, rel=1e-6)
+
+    def test_ipc_definitions(self, processor):
+        r = processor.run(make_profile(), 120.0)
+        # Reference IPC uses base-frequency cycles; core IPC uses actual.
+        assert r.ipc == pytest.approx(
+            r.ipc_core * processor.spec.f_turbo / processor.spec.f_base, rel=1e-6
+        )
+
+    def test_work_scales_linearly(self, processor):
+        t1 = processor.run(make_profile(scale=1.0), 120.0).time_s
+        t2 = processor.run(make_profile(scale=2.0), 120.0).time_s
+        assert t2 == pytest.approx(2 * t1, rel=1e-9)
+
+    def test_empty_profile_rejected(self, processor):
+        with pytest.raises(ValueError):
+            processor.run(WorkProfile("empty"), 120.0)
+
+    def test_cap_met_flag(self, processor):
+        r = processor.run(make_profile(), 40.0)
+        assert isinstance(r.cap_met, bool)
+
+
+class TestTraced:
+    def test_matches_closed_form_without_noise(self, processor):
+        prof = make_profile(scale=0.2)
+        for cap in (120.0, 60.0):
+            a = processor.run(prof, cap)
+            b = processor.run_traced(prof, cap, window_s=1e-3)
+            assert b.time_s == pytest.approx(a.time_s, rel=0.02)
+            assert b.energy_j == pytest.approx(a.energy_j, rel=0.02)
+
+    def test_samples_cover_run(self, processor):
+        prof = make_profile(scale=0.5)
+        r = processor.run_traced(prof, 80.0, sample_interval_s=0.05)
+        assert len(r.samples) >= 2
+        covered = sum(s.dt_s for s in r.samples)
+        assert covered == pytest.approx(r.time_s, rel=0.01)
+
+    def test_sample_energy_consistent(self, processor):
+        prof = make_profile(scale=0.5)
+        r = processor.run_traced(prof, 80.0, sample_interval_s=0.05)
+        e = sum(s.power_w * s.dt_s for s in r.samples)
+        assert e == pytest.approx(r.energy_j, rel=0.01)
+
+    def test_noise_is_seeded(self, processor):
+        prof = make_profile(scale=0.2)
+        a = processor.run_traced(prof, 60.0, noise_sigma_w=2.0, seed=1)
+        b = processor.run_traced(prof, 60.0, noise_sigma_w=2.0, seed=1)
+        c = processor.run_traced(prof, 60.0, noise_sigma_w=2.0, seed=2)
+        assert a.time_s == b.time_s
+        assert a.time_s != c.time_s
+
+    def test_noisy_run_stays_near_cap(self, processor):
+        prof = make_profile(scale=0.5)
+        r = processor.run_traced(prof, 60.0, noise_sigma_w=1.5, seed=3)
+        # The integral correction keeps the average at or under the cap.
+        assert r.avg_power_w <= 61.0
+
+    def test_segment_records_present(self, processor):
+        r = processor.run_traced(make_profile(scale=0.2), 100.0)
+        assert [rec.name for rec in r.records] == ["hot", "cool"]

@@ -1,0 +1,138 @@
+"""Machine spec and cache model."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import BROADWELL_E5_2695V4, CacheModel, MachineSpec
+from repro.workload import AccessPattern, InstructionMix, WorkSegment
+
+SPEC = BROADWELL_E5_2695V4
+
+
+def seg(**kw):
+    defaults = dict(
+        name="s",
+        mix=InstructionMix(int_alu=1e6, load=1e6),
+        bytes_read=1e6,
+        bytes_written=0.0,
+        working_set_bytes=1e6,
+        pattern=AccessPattern.STREAMING,
+    )
+    defaults.update(kw)
+    return WorkSegment(**defaults)
+
+
+class TestSpec:
+    def test_broadwell_constants(self):
+        assert SPEC.n_cores == 18
+        assert SPEC.tdp_watts == 120.0
+        assert SPEC.rapl_floor_watts == 40.0
+        assert SPEC.llc_bytes == 45 * 1024 * 1024
+
+    def test_freq_bins(self):
+        bins = SPEC.freq_bins
+        assert bins[0] == pytest.approx(SPEC.f_min)
+        assert bins[-1] == pytest.approx(SPEC.f_turbo)
+        np.testing.assert_allclose(np.diff(bins), SPEC.f_step)
+
+    def test_voltage_monotone(self):
+        v = [SPEC.voltage(f) for f in SPEC.freq_bins]
+        assert all(b > a for a, b in zip(v, v[1:]))
+
+    def test_voltage_clamped_below_fmin(self):
+        assert SPEC.voltage(0.1) == SPEC.voltage(SPEC.f_min)
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(SPEC, f_min=3.0)  # f_min > f_base
+        with pytest.raises(ValueError):
+            dataclasses.replace(SPEC, rapl_floor_watts=200.0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(SPEC, n_cores=0)
+
+
+class TestCacheSweep:
+    def setup_method(self):
+        self.model = CacheModel(SPEC)
+
+    def test_cold_single_pass_all_miss(self):
+        b = self.model.analyze(seg(bytes_read=6.4e6, working_set_bytes=6.4e6,
+                                   pattern=AccessPattern.STRIDED))
+        lines = 6.4e6 * 1.25 / 64
+        assert b.llc_refs == pytest.approx(lines)
+        # Demand misses are reduced by the prefetcher, traffic is not.
+        assert b.dram_lines == pytest.approx(lines)
+        assert b.llc_misses < lines
+
+    def test_llc_resident_rereads_hit(self):
+        """10 passes over an LLC-sized set: only the cold pass misses."""
+        ws = 16e6
+        b = self.model.analyze(
+            seg(bytes_read=10 * ws, working_set_bytes=ws, reuse_passes=10.0)
+        )
+        per_pass = ws / 64
+        assert b.dram_lines == pytest.approx(per_pass)
+        assert b.llc_refs == pytest.approx(10 * per_pass)
+        assert b.llc_miss_rate < 0.1
+
+    def test_llc_spill_rereads_miss(self):
+        """Same 10 passes, working set 3x the LLC: every pass streams."""
+        ws = 3 * SPEC.llc_bytes
+        b = self.model.analyze(
+            seg(bytes_read=10 * ws, working_set_bytes=ws, reuse_passes=10.0)
+        )
+        assert b.dram_lines == pytest.approx(10 * ws / 64)
+
+    def test_l2_resident_never_reaches_llc(self):
+        ws = SPEC.l2_total_bytes / 2
+        b = self.model.analyze(seg(bytes_read=5 * ws, working_set_bytes=ws, reuse_passes=5.0))
+        assert b.llc_refs == pytest.approx(ws / 64)  # cold pass only
+
+    def test_zero_traffic(self):
+        b = self.model.analyze(seg(bytes_read=0.0))
+        assert b.llc_refs == 0 and b.dram_bytes == 0 and b.llc_miss_rate == 0.0
+
+
+class TestCacheProbabilistic:
+    def setup_method(self):
+        self.model = CacheModel(SPEC)
+
+    def test_small_random_set_hits(self):
+        b = self.model.analyze(
+            seg(pattern=AccessPattern.RANDOM, bytes_read=1e8, working_set_bytes=1e6)
+        )
+        assert b.llc_misses == pytest.approx(0.0, abs=1e-6)
+
+    def test_huge_random_set_misses(self):
+        b = self.model.analyze(
+            seg(pattern=AccessPattern.RANDOM, bytes_read=1e8, working_set_bytes=1e12)
+        )
+        assert b.llc_miss_rate > 0.9
+
+    def test_miss_rate_monotone_in_working_set(self):
+        rates = []
+        for ws in (1e6, 1e7, 1e8, 1e9):
+            b = self.model.analyze(
+                seg(pattern=AccessPattern.RANDOM, bytes_read=1e8, working_set_bytes=ws)
+            )
+            rates.append(b.llc_miss_rate)
+        assert rates == sorted(rates)
+
+    @given(
+        ws=st.floats(min_value=1e3, max_value=1e10),
+        data=st.floats(min_value=1e3, max_value=1e10),
+        pattern=st.sampled_from(list(AccessPattern)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_hierarchy_consistency(self, ws, data, pattern):
+        """Counts must nest: refs >= misses >= 0; dram traffic >= demand."""
+        b = CacheModel(SPEC).analyze(
+            seg(pattern=pattern, bytes_read=data, working_set_bytes=ws)
+        )
+        assert b.l1_misses >= b.llc_refs >= b.llc_misses >= 0
+        assert b.dram_lines >= b.llc_misses - 1e-9
+        assert 0.0 <= b.llc_miss_rate <= 1.0

@@ -1,0 +1,113 @@
+"""Spherical clip and isovolume filters."""
+
+import numpy as np
+import pytest
+
+from repro.data import Association, DataSet, UniformGrid
+from repro.data.generators import linear_ramp, sphere_distance
+from repro.viz import Isovolume, SphericalClip
+
+
+@pytest.fixture(scope="module")
+def grid24():
+    return UniformGrid.cube(24)
+
+
+@pytest.fixture(scope="module")
+def sphere24(grid24):
+    ds = DataSet(grid24)
+    ds.add_field("energy", sphere_distance(grid24), Association.POINT)
+    return ds
+
+
+@pytest.fixture(scope="module")
+def ramp24(grid24):
+    ds = DataSet(grid24)
+    ds.add_field("energy", linear_ramp(grid24), Association.POINT)
+    return ds
+
+
+class TestSphericalClip:
+    def test_volume_outside_sphere(self, sphere24, grid24):
+        out = SphericalClip(field="energy", radius=0.3).execute(sphere24).output
+        vol = out.total_volume(cell_volume=float(np.prod(grid24.spacing)))
+        assert vol == pytest.approx(1.0 - 4 / 3 * np.pi * 0.3**3, rel=5e-3)
+
+    def test_kept_cells_fully_outside(self, sphere24, grid24):
+        out = SphericalClip(field="energy", radius=0.3).execute(sphere24).output
+        centers = grid24.cell_centers(out.kept.cell_ids)
+        d = np.linalg.norm(centers - grid24.center, axis=1)
+        # Every kept whole cell's center is at least (r - half diagonal).
+        assert d.min() > 0.3 - grid24.spacing[0] * np.sqrt(3) / 2
+
+    def test_cut_points_near_sphere_region(self, sphere24, grid24):
+        out = SphericalClip(field="energy", radius=0.3).execute(sphere24).output
+        d = np.linalg.norm(out.cut.points - grid24.center, axis=1)
+        # Cut tets live in straddling cells: within one cell diagonal of r.
+        assert d.min() > 0.3 - 2 * grid24.spacing[0] * np.sqrt(3)
+        assert d.max() < 0.3 + 2 * grid24.spacing[0] * np.sqrt(3)
+
+    def test_radius_zero_keeps_everything(self, sphere24, grid24):
+        out = SphericalClip(field="energy", radius=1e-12).execute(sphere24).output
+        vol = out.total_volume(cell_volume=float(np.prod(grid24.spacing)))
+        assert vol == pytest.approx(1.0, rel=1e-6)
+
+    def test_huge_radius_drops_everything(self, sphere24, grid24):
+        out = SphericalClip(field="energy", radius=10.0).execute(sphere24).output
+        assert out.kept.n_cells == 0
+        assert out.cut.n_tets == 0
+
+    def test_counts_consistent(self, sphere24, grid24):
+        res = SphericalClip(field="energy", radius=0.3).execute(sphere24)
+        c = res.counts
+        assert c["cells_classified"] == grid24.n_cells
+        assert (
+            c["cells_kept_whole"] + c["cells_straddling"] <= grid24.n_cells
+        )
+        assert c["tets_cut"] == c["cells_straddling"] * 6
+
+    def test_profile_segments(self, sphere24):
+        prof = SphericalClip(field="energy").execute(sphere24).profile
+        assert [s.name for s in prof] == ["framework", "evaluate", "classify", "cut", "copy"]
+
+
+class TestIsovolume:
+    def test_exact_slab_volume(self, ramp24, grid24):
+        out = Isovolume(field="energy", lo=0.25, hi=0.75).execute(ramp24).output
+        vol = out.total_volume(cell_volume=float(np.prod(grid24.spacing)))
+        assert vol == pytest.approx(0.5, rel=1e-9)
+
+    def test_spherical_shell_volume(self, sphere24, grid24):
+        out = Isovolume(field="energy", lo=0.2, hi=0.4).execute(sphere24).output
+        vol = out.total_volume(cell_volume=float(np.prod(grid24.spacing)))
+        expected = 4 / 3 * np.pi * (0.4**3 - 0.2**3)
+        assert vol == pytest.approx(expected, rel=1e-2)
+
+    def test_cut_scalars_within_range(self, sphere24):
+        out = Isovolume(field="energy", lo=0.2, hi=0.4).execute(sphere24).output
+        assert out.cut.scalars.min() >= 0.2 - 1e-9
+        assert out.cut.scalars.max() <= 0.4 + 1e-9
+
+    def test_degenerate_range_near_empty(self, ramp24, grid24):
+        out = Isovolume(field="energy", lo=0.5, hi=0.5).execute(ramp24).output
+        vol = out.total_volume(cell_volume=float(np.prod(grid24.spacing)))
+        assert vol == pytest.approx(0.0, abs=1e-9)
+
+    def test_lo_above_hi_rejected(self, ramp24):
+        with pytest.raises(ValueError, match="must not exceed"):
+            Isovolume(field="energy", lo=0.8, hi=0.2).execute(ramp24)
+
+    def test_full_range_keeps_all(self, ramp24, grid24):
+        out = Isovolume(field="energy", lo=-10, hi=10).execute(ramp24).output
+        assert out.kept.n_cells == grid24.n_cells
+
+    def test_union_of_complement_ranges(self, ramp24, grid24):
+        """[0, .5] and [.5, 1] volumes sum to the whole cube."""
+        cv = float(np.prod(grid24.spacing))
+        lo = Isovolume(field="energy", lo=-1, hi=0.5).execute(ramp24).output
+        hi = Isovolume(field="energy", lo=0.5, hi=2).execute(ramp24).output
+        assert lo.total_volume(cv) + hi.total_volume(cv) == pytest.approx(1.0, rel=1e-9)
+
+    def test_profile_segments(self, ramp24):
+        prof = Isovolume(field="energy").execute(ramp24).profile
+        assert [s.name for s in prof] == ["framework", "classify", "cut", "copy"]

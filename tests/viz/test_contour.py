@@ -1,0 +1,127 @@
+"""Contour (marching cubes) correctness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Association, DataSet, UniformGrid
+from repro.data.generators import linear_ramp, sphere_distance
+from repro.viz import Contour
+from repro.viz.contour import default_isovalues
+
+
+class TestGeometry:
+    def test_sphere_surface_area(self, sphere_ds):
+        mesh = Contour(field="energy", isovalues=[0.3]).execute(sphere_ds).output
+        assert mesh.area() == pytest.approx(4 * np.pi * 0.3**2, rel=0.02)
+
+    def test_vertices_on_isosurface(self, sphere_ds):
+        mesh = Contour(field="energy", isovalues=[0.3]).execute(sphere_ds).output
+        r = np.linalg.norm(mesh.points - sphere_ds.grid.center, axis=1)
+        np.testing.assert_allclose(r, 0.3, atol=0.01)
+
+    def test_planar_isosurface_exact(self, ramp_ds):
+        """A linear field's isosurface is an exact plane with exact area."""
+        mesh = Contour(field="energy", isovalues=[0.5]).execute(ramp_ds).output
+        np.testing.assert_allclose(mesh.points[:, 0], 0.5, atol=1e-12)
+        assert mesh.area() == pytest.approx(1.0, rel=1e-9)
+
+    def test_normals_oriented_against_gradient(self, ramp_ds):
+        """Inside = value > iso, so normals point toward smaller x."""
+        mesh = Contour(field="energy", isovalues=[0.5]).execute(ramp_ds).output
+        normals = mesh.triangle_normals()
+        areas = np.linalg.norm(
+            np.cross(
+                mesh.points[mesh.triangles[:, 1]] - mesh.points[mesh.triangles[:, 0]],
+                mesh.points[mesh.triangles[:, 2]] - mesh.points[mesh.triangles[:, 0]],
+            ),
+            axis=1,
+        )
+        nonsliver = areas > 1e-12
+        assert (normals[nonsliver, 0] < 0).all()
+
+    def test_empty_when_iso_outside_range(self, sphere_ds):
+        mesh = Contour(field="energy", isovalues=[99.0]).execute(sphere_ds).output
+        assert mesh.n_triangles == 0
+
+    def test_multiple_isovalues_nested_spheres(self, sphere_ds):
+        res = Contour(field="energy", isovalues=[0.2, 0.35]).execute(sphere_ds)
+        scal = res.output.scalars
+        assert set(np.round(np.unique(scal), 6)) == {0.2, 0.35}
+
+    def test_chunking_invariant(self, sphere_ds):
+        """Different chunk sizes must produce identical geometry."""
+        big = Contour(field="energy", isovalues=[0.3], chunk_cells=1 << 20)
+        small = Contour(field="energy", isovalues=[0.3], chunk_cells=97)
+        m1 = big.execute(sphere_ds).output
+        m2 = small.execute(sphere_ds).output
+        assert m1.n_triangles == m2.n_triangles
+        np.testing.assert_allclose(
+            np.sort(m1.points.sum(axis=1)), np.sort(m2.points.sum(axis=1)), atol=1e-12
+        )
+
+    def test_watertight_on_random_field(self, rng):
+        """Every interior triangle edge must be shared by exactly 2
+        triangles (crack-free across cells and tets)."""
+        grid = UniformGrid.cube(6)
+        ds = DataSet(grid)
+        ds.add_field("f", rng.normal(size=grid.n_points), Association.POINT)
+        mesh = Contour(field="f", isovalues=[0.0]).execute(ds).output
+        assert mesh.n_triangles > 0
+        # Weld duplicated vertices, then count edge incidences.
+        key = np.round(mesh.points / 1e-9).astype(np.int64)
+        _, inv = np.unique(key, axis=0, return_inverse=True)
+        tris = inv[mesh.triangles]
+        edges = np.sort(
+            np.concatenate([tris[:, [0, 1]], tris[:, [1, 2]], tris[:, [2, 0]]]), axis=1
+        )
+        # Drop degenerate (zero-length) edges from sliver triangles.
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        _, counts = np.unique(edges, axis=0, return_counts=True)
+        # The random field never crosses zero exactly on the boundary of
+        # the domain here, but boundary cells still clip the surface, so
+        # allow count==1 edges only on the domain boundary.
+        bad = counts > 2
+        assert not bad.any(), f"{bad.sum()} non-manifold edges"
+
+
+class TestWorkProfile:
+    def test_counts_scale_with_isovalues(self, sphere_ds):
+        r1 = Contour(field="energy", isovalues=[0.3]).execute(sphere_ds)
+        r2 = Contour(field="energy", isovalues=[0.3, 0.31]).execute(sphere_ds)
+        assert r2.counts["cells_classified"] == 2 * r1.counts["cells_classified"]
+
+    def test_profile_has_expected_segments(self, sphere_ds):
+        prof = Contour(field="energy").execute(sphere_ds).profile
+        names = [s.name for s in prof]
+        assert names == ["framework", "classify", "generate"]
+
+    def test_keep_output_false_counts_only(self, sphere_ds):
+        res = Contour(field="energy", isovalues=[0.3], keep_output=False).execute(sphere_ds)
+        assert res.output.n_triangles == 0
+        assert res.counts["triangles"] > 0
+
+    def test_default_isovalues_strictly_inside(self):
+        iso = default_isovalues(0.0, 1.0, 10)
+        assert len(iso) == 10
+        assert iso.min() > 0.0 and iso.max() < 1.0
+
+    def test_vector_field_rejected(self, grid16):
+        ds = DataSet(grid16)
+        ds.add_field("v", np.ones((grid16.n_points, 3)), Association.POINT)
+        with pytest.raises(ValueError, match="scalar"):
+            Contour(field="v").execute(ds)
+
+
+@given(iso=st.floats(min_value=0.05, max_value=0.45))
+@settings(max_examples=15, deadline=None)
+def test_property_sphere_radius_tracks_isovalue(iso):
+    grid = UniformGrid.cube(12)
+    ds = DataSet(grid)
+    ds.add_field("d", sphere_distance(grid), Association.POINT)
+    mesh = Contour(field="d", isovalues=[iso]).execute(ds).output
+    if mesh.n_points == 0:
+        return
+    r = np.linalg.norm(mesh.points - grid.center, axis=1)
+    np.testing.assert_allclose(r, iso, atol=grid.spacing[0])

@@ -1,0 +1,148 @@
+"""Edge cases and degenerate inputs across the filters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Association, DataSet, UniformGrid
+from repro.data.generators import linear_ramp, sphere_distance
+from repro.viz import (
+    Contour,
+    Isovolume,
+    ParticleAdvection,
+    RayTracer,
+    Slice,
+    SphericalClip,
+    Threshold,
+    VolumeRenderer,
+)
+
+
+def tiny_ds(n=2, value=None):
+    grid = UniformGrid.cube(n)
+    ds = DataSet(grid)
+    field = np.full(grid.n_points, 1.0) if value is None else value
+    ds.add_field("energy", field, Association.POINT)
+    ds.add_field("velocity", np.ones((grid.n_points, 3)), Association.POINT)
+    return ds
+
+
+class TestConstantField:
+    """A constant field has no isosurfaces and no straddling cells."""
+
+    def test_contour_empty(self):
+        res = Contour(field="energy", isovalues=[0.5]).execute(tiny_ds(4))
+        assert res.output.n_triangles == 0
+        assert res.counts["active_cells"] == 0
+
+    def test_isovolume_all_or_nothing(self):
+        ds = tiny_ds(4)
+        inside = Isovolume(field="energy", lo=0.0, hi=2.0).execute(ds).output
+        outside = Isovolume(field="energy", lo=5.0, hi=6.0).execute(ds).output
+        assert inside.kept.n_cells == ds.grid.n_cells
+        assert outside.kept.n_cells == 0 and outside.cut.n_tets == 0
+
+    def test_threshold_boundary_inclusive(self):
+        ds = tiny_ds(4)
+        out = Threshold(field="energy", lo=1.0, hi=1.0).execute(ds).output
+        assert out.n_cells == ds.grid.n_cells
+
+
+class TestMinimalGrids:
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_all_filters_survive_tiny_grids(self, n):
+        grid = UniformGrid.cube(max(n, 1))
+        ds = DataSet(grid)
+        ds.add_field("energy", sphere_distance(grid), Association.POINT)
+        ds.add_field("velocity", np.ones((grid.n_points, 3)), Association.POINT)
+        filters = [
+            Contour(field="energy", n_isovalues=2),
+            Threshold(field="energy"),
+            SphericalClip(field="energy"),
+            Isovolume(field="energy"),
+            Slice(field="energy"),
+            ParticleAdvection(n_seeds=8, n_steps=5),
+            RayTracer(n_images=1, images_per_cycle=1, resolution=(8, 8)),
+            VolumeRenderer(n_images=1, images_per_cycle=1, resolution=(8, 8)),
+        ]
+        for f in filters:
+            res = f.execute(ds)
+            assert res.profile.total_instructions > 0, f.name
+
+
+class TestContourSymmetry:
+    @given(iso=st.floats(min_value=0.2, max_value=0.8))
+    @settings(max_examples=10, deadline=None)
+    def test_field_negation_preserves_geometry(self, iso):
+        """contour(f, iso) and contour(-f, -iso) produce the same surface
+        (possibly with flipped orientation)."""
+        grid = UniformGrid.cube(8)
+        f = linear_ramp(grid)
+        ds_pos = DataSet(grid)
+        ds_pos.add_field("e", f, Association.POINT)
+        ds_neg = DataSet(grid)
+        ds_neg.add_field("e", -f, Association.POINT)
+        m1 = Contour(field="e", isovalues=[iso]).execute(ds_pos).output
+        m2 = Contour(field="e", isovalues=[-iso]).execute(ds_neg).output
+        assert m1.n_triangles == m2.n_triangles
+        assert m1.area() == pytest.approx(m2.area(), rel=1e-9)
+
+    @given(scale=st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=10, deadline=None)
+    def test_field_scaling_invariance(self, scale):
+        """Scaling field and isovalue together leaves the surface fixed."""
+        grid = UniformGrid.cube(8)
+        f = sphere_distance(grid)
+        ds1 = DataSet(grid)
+        ds1.add_field("e", f, Association.POINT)
+        ds2 = DataSet(grid)
+        ds2.add_field("e", f * scale, Association.POINT)
+        m1 = Contour(field="e", isovalues=[0.3]).execute(ds1).output
+        m2 = Contour(field="e", isovalues=[0.3 * scale]).execute(ds2).output
+        np.testing.assert_allclose(
+            np.sort(m1.points.ravel()), np.sort(m2.points.ravel()), atol=1e-9
+        )
+
+
+class TestAnisotropicGrids:
+    def test_contour_on_stretched_grid(self):
+        grid = UniformGrid(cell_dims=(8, 8, 8), spacing=(1.0, 2.0, 0.5))
+        ds = DataSet(grid)
+        pts = grid.point_coords()
+        ds.add_field("e", pts[:, 0], Association.POINT)
+        mesh = Contour(field="e", isovalues=[4.0]).execute(ds).output
+        # Plane x = 4 has area (8*2) * (8*0.5) = 64.
+        assert mesh.area() == pytest.approx(64.0, rel=1e-9)
+        np.testing.assert_allclose(mesh.points[:, 0], 4.0, atol=1e-12)
+
+    def test_clip_volume_on_stretched_grid(self):
+        grid = UniformGrid(cell_dims=(8, 8, 8), spacing=(1.0, 2.0, 0.5))
+        ds = DataSet(grid)
+        ds.add_field("e", np.ones(grid.n_points), Association.POINT)
+        out = SphericalClip(field="e", center=(0, 0, 0), radius=1e-9).execute(ds).output
+        total = out.total_volume(cell_volume=float(np.prod(grid.spacing)))
+        assert total == pytest.approx(8 * 16 * 4, rel=1e-9)
+
+
+class TestWorkloadInvariants:
+    @given(factor=st.floats(min_value=0.1, max_value=50.0))
+    @settings(max_examples=20, deadline=None)
+    def test_segment_scaling(self, factor):
+        from repro.workload import AccessPattern, InstructionMix, WorkSegment
+
+        seg = WorkSegment(
+            name="s",
+            mix=InstructionMix(fp=100, load=50),
+            bytes_read=1000,
+            bytes_written=100,
+            working_set_bytes=1e6,
+            extra_stall_cycles=200.0,
+        )
+        scaled = seg.scaled(factor)
+        assert scaled.mix.total == pytest.approx(150 * factor)
+        assert scaled.bytes_read == pytest.approx(1000 * factor)
+        assert scaled.extra_stall_cycles == pytest.approx(200 * factor)
+        # Working set and memory character are NOT scaled.
+        assert scaled.working_set_bytes == seg.working_set_bytes
+        assert scaled.pattern is seg.pattern

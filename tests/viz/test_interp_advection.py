@@ -1,0 +1,126 @@
+"""Trilinear interpolation and RK4 particle advection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Association, DataSet, UniformGrid
+from repro.data.generators import linear_ramp, rotation_vector_field
+from repro.viz import ParticleAdvection, trilinear
+from repro.viz.advection import seed_grid
+
+
+class TestTrilinear:
+    def test_reproduces_linear_field_exactly(self, grid16, rng):
+        vals = linear_ramp(grid16, direction=(1.0, 2.0, 3.0))
+        q = rng.random((50, 3))
+        out, inside = trilinear(grid16, vals, q)
+        d = np.array([1.0, 2.0, 3.0]) / np.sqrt(14.0)
+        np.testing.assert_allclose(out, q @ d, atol=1e-12)
+        assert inside.all()
+
+    def test_exact_at_grid_points(self, grid16, rng):
+        vals = rng.random(grid16.n_points)
+        pids = rng.integers(0, grid16.n_points, size=20)
+        q = grid16.point_coords(pids)
+        out, _ = trilinear(grid16, vals, q)
+        np.testing.assert_allclose(out, vals[pids], atol=1e-12)
+
+    def test_out_of_bounds_zero_and_flagged(self, grid16):
+        vals = np.ones(grid16.n_points)
+        out, inside = trilinear(grid16, vals, np.array([[2.0, 0.5, 0.5]]))
+        assert not inside[0]
+        assert out[0] == 0.0
+
+    def test_vector_field(self, grid16):
+        vel = np.tile([1.0, -2.0, 0.5], (grid16.n_points, 1))
+        out, _ = trilinear(grid16, vel, np.array([[0.3, 0.7, 0.2]]))
+        np.testing.assert_allclose(out[0], [1.0, -2.0, 0.5])
+
+    def test_boundary_point_uses_clamped_cell(self, grid16):
+        vals = linear_ramp(grid16)
+        out, inside = trilinear(grid16, vals, np.array([[1.0, 1.0, 1.0]]))
+        assert inside[0]
+        assert out[0] == pytest.approx(1.0)
+
+    def test_convex_combination_bounds(self, grid16, rng):
+        vals = rng.random(grid16.n_points)
+        q = rng.random((100, 3))
+        out, _ = trilinear(grid16, vals, q)
+        assert (out >= vals.min() - 1e-12).all()
+        assert (out <= vals.max() + 1e-12).all()
+
+
+class TestSeedGrid:
+    def test_count_and_bounds(self, grid16):
+        seeds = seed_grid(grid16.bounds, 64)
+        assert seeds.shape == (64, 3)
+        assert grid16.contains(seeds).all()
+
+    def test_margin(self, grid16):
+        seeds = seed_grid(grid16.bounds, 27, margin=0.2)
+        assert seeds.min() >= 0.2 - 1e-12
+        assert seeds.max() <= 0.8 + 1e-12
+
+
+class TestAdvection:
+    def test_circular_streamlines_stay_on_circles(self, blobs_ds):
+        """In a pure rotation field, each streamline keeps its radius."""
+        adv = ParticleAdvection(n_seeds=27, n_steps=200)
+        lines = adv.execute(blobs_ds).output
+        center = blobs_ds.grid.center
+        checked = 0
+        for i in range(lines.n_lines):
+            pts = lines.line(i)
+            if pts.shape[0] < 50:
+                continue  # died early near the boundary
+            r = np.linalg.norm((pts - center)[:, :2], axis=1)
+            if r[0] < 0.05:
+                continue  # near the axis the direction is ill-conditioned
+            np.testing.assert_allclose(r, r[0], rtol=0.08)
+            checked += 1
+        assert checked > 3
+
+    def test_step_length_controls_displacement(self, blobs_ds):
+        h = 0.01
+        adv = ParticleAdvection(n_seeds=8, n_steps=20, step_length=h)
+        lines = adv.execute(blobs_ds).output
+        for i in range(lines.n_lines):
+            pts = lines.line(i)
+            if pts.shape[0] > 2:
+                seg = np.linalg.norm(np.diff(pts, axis=0), axis=1)
+                np.testing.assert_allclose(seg, h, rtol=1e-6)
+
+    def test_all_points_inside_domain(self, blobs_ds):
+        adv = ParticleAdvection(n_seeds=27, n_steps=100)
+        lines = adv.execute(blobs_ds).output
+        assert blobs_ds.grid.contains(lines.points).all()
+
+    def test_line_count_matches_seeds(self, blobs_ds):
+        adv = ParticleAdvection(n_seeds=27, n_steps=10)
+        lines = adv.execute(blobs_ds).output
+        assert lines.n_lines == 27  # 3^3 lattice
+
+    def test_counts_bound_by_seeds_steps(self, abc_ds):
+        adv = ParticleAdvection(n_seeds=27, n_steps=50)
+        res = adv.execute(abc_ds)
+        assert res.counts["steps"] <= 27 * 50
+        assert res.counts["interp_evals"] == 4 * res.counts["steps"]
+
+    def test_particles_exit_small_domain(self, abc_ds):
+        """The paper's observation: with fixed world-space step lengths,
+        particles fall out of the box and terminate."""
+        adv = ParticleAdvection(n_seeds=27, n_steps=500, step_length=0.02)
+        res = adv.execute(abc_ds)
+        assert res.counts["steps"] < 27 * 500
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            ParticleAdvection(n_seeds=0)
+        with pytest.raises(ValueError):
+            ParticleAdvection(n_steps=0)
+
+    def test_scalar_velocity_rejected(self, ramp_ds):
+        with pytest.raises(ValueError, match="vector"):
+            ParticleAdvection(field="energy").execute(ramp_ds)

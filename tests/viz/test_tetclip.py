@@ -1,0 +1,134 @@
+"""Tetrahedral clipping engine: exact volume partitions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Association, DataSet, TetMesh, UniformGrid
+from repro.data.generators import linear_ramp
+from repro.viz.tetclip import clip_grid_cells, clip_tet_soup, tet_cut_recipes
+
+
+class TestRecipes:
+    def test_all_16_cases_present(self):
+        recipes = tet_cut_recipes()
+        assert set(recipes) == set(range(16))
+
+    def test_case_counts(self):
+        recipes = tet_cut_recipes()
+        assert len(recipes[0]) == 0          # all outside
+        assert len(recipes[0b1111]) == 1     # all inside: passthrough
+        for case in (1, 2, 4, 8):
+            assert len(recipes[case]) == 1   # single corner kept
+        for case in (0b1110, 0b1101, 0b1011, 0b0111):
+            assert len(recipes[case]) == 3   # frustum
+        for case in (0b0011, 0b0101, 0b1001, 0b0110, 0b1010, 0b1100):
+            assert len(recipes[case]) == 3   # prism
+
+    def test_edges_cross_boundary(self):
+        recipes = tet_cut_recipes()
+        for case, tets in recipes.items():
+            inside = {i for i in range(4) if (case >> i) & 1}
+            for tet in tets:
+                for rv in tet:
+                    if rv[0] == "e":
+                        _, a, b = rv
+                        assert (a in inside) != (b in inside)
+
+    @given(case=st.integers(min_value=1, max_value=15))
+    @settings(max_examples=15, deadline=None)
+    def test_volume_partition_per_tet(self, case):
+        """Cut volume of the kept side + complement's kept side = tet volume."""
+        pts = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1]], dtype=float)
+        g = np.array([1.0 if (case >> i) & 1 else -1.0 for i in range(4)])
+        soup = TetMesh(pts, np.array([[0, 1, 2, 3]]), scalars=g)
+        kept, _ = clip_tet_soup(soup, g)
+        comp, _ = clip_tet_soup(soup, -g)
+        total = kept.total_volume() + comp.total_volume()
+        assert total == pytest.approx(1.0 / 6.0, rel=1e-9)
+
+
+class TestGridClip:
+    def test_halfspace_keeps_half(self, grid8):
+        g = linear_ramp(grid8) - 0.5
+        res = clip_grid_cells(grid8, g)
+        cell_vol = float(np.prod(grid8.spacing))
+        vol = res.kept_cell_ids.size * cell_vol + res.cut.total_volume()
+        assert vol == pytest.approx(0.5, rel=1e-9)
+
+    def test_all_inside(self, grid8):
+        res = clip_grid_cells(grid8, np.ones(grid8.n_points))
+        assert res.kept_cell_ids.size == grid8.n_cells
+        assert res.cut.n_tets == 0
+        assert res.n_cells_straddling == 0
+
+    def test_all_outside(self, grid8):
+        res = clip_grid_cells(grid8, -np.ones(grid8.n_points))
+        assert res.kept_cell_ids.size == 0
+        assert res.cut.n_tets == 0
+
+    def test_oblique_halfspace(self, grid8):
+        """Plane not aligned with the lattice still partitions exactly."""
+        pts = grid8.point_coords()
+        g = (pts @ np.array([1.0, 1.0, 0.0])) / np.sqrt(2) - np.sqrt(2) / 2
+        cell_vol = float(np.prod(grid8.spacing))
+        res = clip_grid_cells(grid8, g)
+        vol = res.kept_cell_ids.size * cell_vol + res.cut.total_volume()
+        assert vol == pytest.approx(0.5, rel=1e-9)
+
+    def test_scalars_interpolated_on_cut(self, grid8):
+        """Cut-tet vertex scalars must equal the carried field's value."""
+        g = linear_ramp(grid8) - 0.5
+        scal = linear_ramp(grid8) * 2.0  # carried field = 2x
+        res = clip_grid_cells(grid8, g, scalars=scal)
+        assert res.cut.n_tets > 0
+        np.testing.assert_allclose(res.cut.scalars, res.cut.points[:, 0] * 2.0, atol=1e-9)
+
+    def test_chunking_invariant(self, grid8):
+        g = linear_ramp(grid8) - 0.37
+        r1 = clip_grid_cells(grid8, g, chunk_cells=1 << 20)
+        r2 = clip_grid_cells(grid8, g, chunk_cells=13)
+        assert r1.kept_cell_ids.size == r2.kept_cell_ids.size
+        assert r1.cut.total_volume() == pytest.approx(r2.cut.total_volume(), rel=1e-12)
+
+    def test_keep_output_false(self, grid8):
+        g = linear_ramp(grid8) - 0.5
+        res = clip_grid_cells(grid8, g, keep_output=False)
+        assert res.cut.n_tets == 0
+        assert res.n_tets_cut > 0
+
+    def test_subset_cell_ids(self, grid8):
+        g = linear_ramp(grid8) - 0.5
+        subset = np.arange(0, grid8.n_cells, 2)
+        res = clip_grid_cells(grid8, g, cell_ids=subset)
+        assert set(res.kept_cell_ids).issubset(set(subset))
+
+
+class TestTetSoupClip:
+    def test_empty_mesh(self):
+        out, n = clip_tet_soup(TetMesh.empty(), np.empty(0))
+        assert out.n_tets == 0 and n == 0
+
+    def test_wrong_g_length(self):
+        pts = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1]], dtype=float)
+        soup = TetMesh(pts, np.array([[0, 1, 2, 3]]))
+        with pytest.raises(ValueError):
+            clip_tet_soup(soup, np.zeros(3))
+
+    @given(
+        n=st.floats(min_value=-0.8, max_value=0.8),
+        axis=st.integers(min_value=0, max_value=2),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_plane_clip_volume(self, n, axis):
+        """Clipping a unit cube's tets by an axis plane keeps the exact
+        fraction of the volume on the kept side."""
+        grid = UniformGrid.cube(4)
+        pts = grid.point_coords()
+        offset = 0.5 + n / 2.0
+        g = pts[:, axis] - offset
+        res = clip_grid_cells(grid, g)
+        cell_vol = float(np.prod(grid.spacing))
+        vol = res.kept_cell_ids.size * cell_vol + res.cut.total_volume()
+        assert vol == pytest.approx(1.0 - offset, abs=1e-9)

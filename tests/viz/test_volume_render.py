@@ -1,0 +1,113 @@
+"""Volume renderer and rendering support (cameras, colormaps, images)."""
+
+import numpy as np
+import pytest
+
+from repro.viz import Camera, ColorMap, Image, VolumeRenderer, orbit_cameras
+
+
+class TestCamera:
+    def test_rays_unit_length(self):
+        cam = Camera(eye=np.array([3.0, 0, 0]), look_at=np.zeros(3), up=np.array([0, 0, 1.0]))
+        o, d = cam.rays(8, 8)
+        assert o.shape == (64, 3) and d.shape == (64, 3)
+        np.testing.assert_allclose(np.linalg.norm(d, axis=1), 1.0)
+
+    def test_center_ray_points_at_target(self):
+        cam = Camera(eye=np.array([3.0, 0, 0]), look_at=np.zeros(3), up=np.array([0, 0, 1.0]))
+        _, d = cam.rays(9, 9)
+        center = d[4 * 9 + 4]
+        np.testing.assert_allclose(center, [-1, 0, 0], atol=1e-12)
+
+    def test_orbit_count_and_distance(self):
+        bounds = np.array([[0, 1], [0, 1], [0, 1.0]])
+        cams = orbit_cameras(bounds, 5)
+        assert len(cams) == 5
+        center = bounds.mean(axis=1)
+        dists = [np.linalg.norm(c.eye - center) for c in cams]
+        np.testing.assert_allclose(dists, dists[0])
+
+    def test_orbit_rejects_zero(self):
+        with pytest.raises(ValueError):
+            orbit_cameras(np.array([[0, 1], [0, 1], [0, 1.0]]), 0)
+
+
+class TestColorMap:
+    def test_endpoints(self):
+        cm = ColorMap()
+        np.testing.assert_allclose(cm(np.array([0.0])), [ColorMap.COOL_WARM[0]])
+        np.testing.assert_allclose(cm(np.array([1.0])), [ColorMap.COOL_WARM[-1]])
+
+    def test_clipping(self):
+        cm = ColorMap()
+        np.testing.assert_allclose(cm(np.array([-5.0])), cm(np.array([0.0])))
+        np.testing.assert_allclose(cm(np.array([5.0])), cm(np.array([1.0])))
+
+    def test_interpolation_midpoint(self):
+        table = np.array([[0.0, 0, 0], [1.0, 1, 1]])
+        cm = ColorMap(table)
+        np.testing.assert_allclose(cm(np.array([0.5])), [[0.5, 0.5, 0.5]])
+
+    def test_bad_table(self):
+        with pytest.raises(ValueError):
+            ColorMap(np.array([[0.0, 0, 0]]))
+
+
+class TestImage:
+    def test_save_ppm(self, tmp_path):
+        img = Image.blank(4, 3, color=(1.0, 0.0, 0.0))
+        path = img.save_ppm(tmp_path / "x.ppm")
+        data = path.read_bytes()
+        assert data.startswith(b"P6\n4 3\n255\n")
+        body = data.split(b"255\n", 1)[1]
+        assert len(body) == 4 * 3 * 3
+        assert body[0] == 255 and body[1] == 0
+
+
+class TestVolumeRenderer:
+    def test_produces_images(self, blobs_ds):
+        vr = VolumeRenderer(n_images=2, images_per_cycle=4, resolution=(24, 24))
+        res = vr.execute(blobs_ds)
+        assert len(res.output) == 2
+        assert res.output[0].rgb.shape == (24, 24, 3)
+        assert res.counts["samples"] > 0
+        assert res.counts["rays"] == 2 * 24 * 24
+
+    def test_center_differs_from_background(self, blobs_ds):
+        vr = VolumeRenderer(n_images=1, images_per_cycle=1, resolution=(25, 25), opacity=0.4)
+        img = vr.execute(blobs_ds).output[0]
+        bg = np.array([0.08, 0.08, 0.10])
+        assert not np.allclose(img.rgb[12, 12], bg, atol=1e-3)
+
+    def test_rgb_in_unit_range(self, blobs_ds):
+        vr = VolumeRenderer(n_images=1, images_per_cycle=1, resolution=(16, 16))
+        img = vr.execute(blobs_ds).output[0]
+        assert img.rgb.min() >= 0.0
+        assert img.rgb.max() <= 1.0 + 1e-9
+
+    def test_zero_opacity_passes_background(self, blobs_ds):
+        vr = VolumeRenderer(n_images=1, images_per_cycle=1, resolution=(8, 8), opacity=0.0)
+        img = vr.execute(blobs_ds).output[0]
+        np.testing.assert_allclose(img.rgb, np.broadcast_to([0.08, 0.08, 0.10], img.rgb.shape))
+
+    def test_sample_count_scales_with_rate(self, blobs_ds):
+        lo = VolumeRenderer(n_images=1, images_per_cycle=1, resolution=(16, 16), samples_per_cell=1.0)
+        hi = VolumeRenderer(n_images=1, images_per_cycle=1, resolution=(16, 16), samples_per_cell=2.0)
+        s_lo = lo.execute(blobs_ds).counts["samples"]
+        s_hi = hi.execute(blobs_ds).counts["samples"]
+        assert s_hi == pytest.approx(2 * s_lo, rel=0.1)
+
+    def test_early_termination_reduces_samples(self, blobs_ds):
+        full = VolumeRenderer(
+            n_images=1, images_per_cycle=1, resolution=(16, 16), opacity=0.9, early_termination=2.0
+        )
+        term = VolumeRenderer(
+            n_images=1, images_per_cycle=1, resolution=(16, 16), opacity=0.9, early_termination=0.5
+        )
+        assert term.execute(blobs_ds).counts["samples"] < full.execute(blobs_ds).counts["samples"]
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            VolumeRenderer(samples_per_cell=0)
+        with pytest.raises(ValueError):
+            VolumeRenderer(n_images=3, images_per_cycle=2)
