@@ -11,12 +11,13 @@ suite without the 256³ extractions.
 
 import pytest
 
-from repro.harness import ExperimentHarness
+from repro import api
+from repro.harness import TableHarness
 
 
 @pytest.fixture(scope="session")
-def harness() -> ExperimentHarness:
-    return ExperimentHarness()
+def harness() -> TableHarness:
+    return api.harness()
 
 
 @pytest.fixture(scope="session")

@@ -9,13 +9,18 @@ The package is layered bottom-up:
 * :mod:`repro.machine` — simulated Broadwell socket with RAPL power capping.
 * :mod:`repro.cloverleaf` — hydrodynamics proxy (data source).
 * :mod:`repro.insitu` — tightly-coupled sim+viz and the power-budget runtime.
-* :mod:`repro.core` — the study itself: sweeps, metrics, classification.
+* :mod:`repro.core` — the study itself: sweeps, metrics, classification,
+  the parallel/resumable sweep engine and its result store.
 * :mod:`repro.harness` — per-table/figure experiment drivers.
+* :mod:`repro.api` — the stable facade; start here
+  (``repro.run_study`` / ``repro.load_result`` / ``repro.classify_study``).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from .workload import AccessPattern, InstructionMix, WorkProfile, WorkSegment
+from . import api
+from .api import classify_study, load_result, regenerate_tables, run_study
 
 __all__ = [
     "__version__",
@@ -23,4 +28,9 @@ __all__ = [
     "InstructionMix",
     "WorkProfile",
     "WorkSegment",
+    "api",
+    "run_study",
+    "load_result",
+    "classify_study",
+    "regenerate_tables",
 ]

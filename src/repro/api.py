@@ -1,0 +1,215 @@
+"""Stable facade over the study machinery.
+
+Everything a downstream consumer needs, in four calls::
+
+    import repro
+
+    result = repro.run_study("phase3", workers=8, store="sweep.jsonl")
+    repro.api.regenerate_tables(csv_dir="results/")
+    later = repro.load_result("sweep.jsonl")
+    classes = repro.classify_study(later)
+
+The facade hides the moving parts — :class:`~repro.core.engine.SweepEngine`,
+:class:`~repro.core.store.ResultStore`,
+:class:`~repro.harness.TableHarness` — behind a small surface that is
+kept stable across refactors.  Study phases can be named by string
+(``"phase1"``/``"phase2"``/``"phase3"``/``"table1"``/``"table2"``/
+``"table3"``) or passed as explicit
+:class:`~repro.core.study.StudyConfig` grids.  Named phases respect the
+``REPRO_MAX_SIZE`` environment cap; explicit configs are taken verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .core.classify import Classification, classify_result
+from .core.engine import SweepEngine
+from .core.profiles import ProfileCache
+from .core.runner import DEFAULT_VIZ_CYCLES, StudyResult
+from .core.store import ResultStore
+from .core.study import (
+    ALGORITHM_NAMES,
+    StudyConfig,
+    phase1_config,
+    phase2_config,
+    phase3_config,
+)
+from .harness.experiments import DEFAULT_CACHE_PATH, TableHarness, effective_sizes
+
+__all__ = [
+    "run_study",
+    "load_result",
+    "classify_study",
+    "regenerate_tables",
+    "resolve_config",
+    "sweep_engine",
+    "harness",
+]
+
+#: Phase names accepted by :func:`resolve_config` / :func:`run_study`.
+PHASE_NAMES = ("phase1", "phase2", "phase3", "table1", "table2", "table3")
+
+
+def resolve_config(config: StudyConfig | str) -> StudyConfig:
+    """Turn a phase name (or pass an explicit grid through) into a config.
+
+    Named phases get their sizes capped by ``REPRO_MAX_SIZE``; an
+    explicit :class:`StudyConfig` is returned unchanged.
+    """
+    if isinstance(config, StudyConfig):
+        return config
+    name = str(config).lower()
+    if name in ("phase1", "table1"):
+        base = phase1_config()
+    elif name in ("phase2", "table2"):
+        base = phase2_config()
+    elif name == "phase3":
+        base = phase3_config()
+    elif name == "table3":
+        base = StudyConfig(name="table3", algorithms=ALGORITHM_NAMES, sizes=(256,))
+    else:
+        raise ValueError(f"unknown study phase {config!r}; expected one of {PHASE_NAMES}")
+    return StudyConfig(
+        name=base.name,
+        algorithms=base.algorithms,
+        sizes=effective_sizes(base.sizes),
+        caps_w=base.caps_w,
+    )
+
+
+def sweep_engine(
+    *,
+    workers: int | None = None,
+    store: ResultStore | str | Path | None = None,
+    cache: str | Path | None = None,
+    spec=None,
+    dataset_kind: str = "blobs",
+    n_cycles: int = DEFAULT_VIZ_CYCLES,
+    seed: int = 7,
+    timeout_s: float | None = None,
+    max_retries: int = 2,
+    progress=None,
+) -> SweepEngine:
+    """A configured :class:`SweepEngine` (the facade's construction point)."""
+    return SweepEngine(
+        spec,
+        dataset_kind=dataset_kind,
+        n_cycles=n_cycles,
+        seed=seed,
+        workers=workers,
+        timeout_s=timeout_s,
+        max_retries=max_retries,
+        store=store,
+        profile_cache=ProfileCache(cache),
+        progress=progress,
+    )
+
+
+def run_study(
+    config: StudyConfig | str = "phase2",
+    *,
+    workers: int | None = 0,
+    store: ResultStore | str | Path | None = None,
+    resume: bool = True,
+    cache: str | Path | None = None,
+    spec=None,
+    dataset_kind: str = "blobs",
+    n_cycles: int = DEFAULT_VIZ_CYCLES,
+    seed: int = 7,
+    progress=None,
+) -> StudyResult:
+    """Run a study sweep and return its points.
+
+    ``workers`` > 1 fans profile executions out across processes;
+    ``store`` makes the sweep resumable (see
+    :mod:`repro.core.engine`).  The default is serial and in-memory —
+    identical output, no side effects.
+    """
+    engine = sweep_engine(
+        workers=workers,
+        store=store,
+        cache=cache,
+        spec=spec,
+        dataset_kind=dataset_kind,
+        n_cycles=n_cycles,
+        seed=seed,
+        progress=progress,
+    )
+    return engine.run(resolve_config(config), resume=resume)
+
+
+def load_result(path: str | Path) -> StudyResult:
+    """Load a :class:`StudyResult` from disk.
+
+    Accepts both serialized results (``StudyResult.to_jsonl``) and
+    sweep-store files (``--store`` output) — the header line says which.
+    """
+    p = Path(path)
+    with open(p) as fh:
+        first = fh.readline()
+    header = json.loads(first) if first.strip() else {}
+    fmt = header.get("format")
+    if fmt == ResultStore.FORMAT:
+        return ResultStore(p).load_result()
+    return StudyResult.from_jsonl(p)
+
+
+def classify_study(
+    result: StudyResult,
+    *,
+    size: int | None = None,
+    sensitive_cap_w: float = 70.0,
+) -> dict[str, Classification]:
+    """Classify every algorithm in a result (power opportunity/sensitive).
+
+    With ``size=None`` a single-size result uses its size and a
+    multi-size result uses its largest (the paper classifies at the
+    biggest grid, where the signal is strongest).
+    """
+    if size is None:
+        sizes = result.sizes
+        size = sizes[-1] if sizes else None
+    return classify_result(result, size=size, sensitive_cap_w=sensitive_cap_w)
+
+
+def harness(
+    cache: str | Path | None = DEFAULT_CACHE_PATH,
+    *,
+    n_cycles: int = DEFAULT_VIZ_CYCLES,
+    seed: int = 7,
+    workers: int = 0,
+    store: ResultStore | str | Path | None = None,
+    progress=None,
+) -> TableHarness:
+    """A configured table/figure harness (replaces ``ExperimentHarness(...)``)."""
+    return TableHarness(
+        cache, n_cycles=n_cycles, seed=seed, workers=workers, store=store, progress=progress
+    )
+
+
+def regenerate_tables(
+    tables: tuple[str, ...] = ("table1", "table2", "table3"),
+    *,
+    cache: str | Path | None = DEFAULT_CACHE_PATH,
+    csv_dir: str | Path | None = None,
+    n_cycles: int = DEFAULT_VIZ_CYCLES,
+    workers: int = 0,
+) -> dict[str, StudyResult]:
+    """Recompute the paper's tables; optionally emit CSV artifacts."""
+    from .harness.emit import result_to_csv
+
+    h = harness(cache, n_cycles=n_cycles, workers=workers)
+    runners = {"table1": h.table1, "table2": h.table2, "table3": h.table3, "phase3": h.phase3}
+    unknown = set(tables) - set(runners)
+    if unknown:
+        raise ValueError(f"unknown table(s) {sorted(unknown)}; expected {sorted(runners)}")
+    out: dict[str, StudyResult] = {}
+    for name in tables:
+        out[name] = runners[name]()
+        if csv_dir is not None:
+            d = Path(csv_dir)
+            d.mkdir(parents=True, exist_ok=True)
+            result_to_csv(out[name], d / f"{name}.csv")
+    return out

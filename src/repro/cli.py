@@ -6,9 +6,13 @@
     python -m repro figures             # Figs. 2-6 series summary
     python -m repro classify            # class + recommended cap per algorithm
     python -m repro all --csv results/  # everything, with CSV artifacts
+    python -m repro sweep phase3 --workers 8 --store sweep.jsonl
 
-``--max-size`` caps dataset sizes (like REPRO_MAX_SIZE); ``--cycles``
-overrides the per-measurement visualization cycle count.
+``sweep`` runs a phase grid through the parallel engine with a
+resumable result store: kill it mid-run and re-invoke with the same
+``--store`` and it completes only the missing points.  ``--max-size``
+caps dataset sizes (like REPRO_MAX_SIZE); ``--cycles`` overrides the
+per-measurement visualization cycle count.
 """
 
 from __future__ import annotations
@@ -16,8 +20,10 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 from pathlib import Path
 
+from . import api
 from .core import (
     classify_result,
     figure2_series,
@@ -29,9 +35,22 @@ from .core import (
 )
 from .core.runner import DEFAULT_VIZ_CYCLES
 from .core.study import ALGORITHM_NAMES
-from .harness import ExperimentHarness, effective_sizes, result_to_csv, series_to_csv
+from .harness import DEFAULT_CACHE_PATH, TableHarness, effective_sizes, result_to_csv, series_to_csv
 
 __all__ = ["main"]
+
+_EPILOG = """\
+environment variables:
+  REPRO_MAX_SIZE   integer cap on dataset sizes in cells per axis
+                   (e.g. REPRO_MAX_SIZE=64 smoke-tests every command
+                   without the 256^3 extractions; --max-size sets it).
+                   Non-integer values are rejected with an error.
+
+examples:
+  python -m repro table1
+  python -m repro all --csv results/
+  python -m repro sweep phase3 --workers 8 --store .cache/phase3.jsonl
+"""
 
 
 def _csv_dir(args) -> Path | None:
@@ -42,7 +61,7 @@ def _csv_dir(args) -> Path | None:
     return path
 
 
-def cmd_table1(harness: ExperimentHarness, args) -> None:
+def cmd_table1(harness: TableHarness, args) -> None:
     result = harness.table1()
     size = effective_sizes((128,))[0]
     print(render_table1(result, algorithm="contour", size=size))
@@ -50,7 +69,7 @@ def cmd_table1(harness: ExperimentHarness, args) -> None:
         result_to_csv(result, d / "table1.csv")
 
 
-def cmd_table2(harness: ExperimentHarness, args) -> None:
+def cmd_table2(harness: TableHarness, args) -> None:
     result = harness.table2()
     size = effective_sizes((128,))[0]
     print(render_slowdown_table(result, size=size))
@@ -58,7 +77,7 @@ def cmd_table2(harness: ExperimentHarness, args) -> None:
         result_to_csv(result, d / "table2.csv")
 
 
-def cmd_table3(harness: ExperimentHarness, args) -> None:
+def cmd_table3(harness: TableHarness, args) -> None:
     size = effective_sizes((256,))[0]
     result = harness.table3()
     print(render_slowdown_table(result, size=size))
@@ -66,7 +85,7 @@ def cmd_table3(harness: ExperimentHarness, args) -> None:
         result_to_csv(result, d / "table3.csv")
 
 
-def cmd_figures(harness: ExperimentHarness, args) -> None:
+def cmd_figures(harness: TableHarness, args) -> None:
     size = effective_sizes((128,))[0]
     p2 = harness.table2()
     fig2 = figure2_series(p2, size=size)
@@ -95,7 +114,7 @@ def cmd_figures(harness: ExperimentHarness, args) -> None:
         series_to_csv(fig3, d / "fig3.csv")
 
 
-def cmd_classify(harness: ExperimentHarness, args) -> None:
+def cmd_classify(harness: TableHarness, args) -> None:
     size = effective_sizes((128,))[0]
     result = harness.table2()
     classes = classify_result(result, size=size)
@@ -104,6 +123,49 @@ def cmd_classify(harness: ExperimentHarness, args) -> None:
         c = classes[alg]
         rec = recommend_cap(result.select(algorithm=alg, size=size))
         print(f"{alg:>10s} {c.power_class.value:>18s} {c.natural_power_w:>6.1f}W {rec.cap_w:>7.0f}W")
+
+
+def _sweep_progress(event: dict) -> None:
+    kind = event.get("kind")
+    if kind == "profile-done":
+        print(
+            f"  [{event['completed']:>3d}/{event['total']}] profiled "
+            f"{event['algorithm']}@{event['size']}^3 in {event['elapsed_s']:.2f}s",
+            flush=True,
+        )
+    elif kind == "group-skipped":
+        print(f"  [resume] {event['algorithm']}@{event['size']}^3 already complete", flush=True)
+    elif kind == "serial-fallback":
+        print(f"  [warn] process pool failed ({event['reason']}); continuing serially", flush=True)
+
+
+def cmd_sweep(args) -> None:
+    config = api.resolve_config(args.phase)
+    store = args.store or str(Path(".cache") / f"sweep-{config.name}.jsonl")
+    engine = api.sweep_engine(
+        workers=args.workers,
+        store=store,
+        cache=args.cache or None,
+        n_cycles=args.cycles,
+        progress=_sweep_progress,
+    )
+    n_jobs = len(config.algorithms) * len(config.sizes)
+    mode = "serial" if (engine.workers or 0) <= 1 else f"{engine.workers} workers"
+    print(
+        f"sweep {config.name}: {config.n_configurations} configurations "
+        f"({n_jobs} profile jobs x {len(config.caps_w)} caps), {mode}, store={store}"
+    )
+    t0 = time.perf_counter()
+    result = engine.run(config, resume=args.resume)
+    wall = time.perf_counter() - t0
+    s = engine.stats
+    print(
+        f"done: {len(result.points)} points in {wall:.2f}s "
+        f"({len(result.points) / wall:.0f} pts/s) — "
+        f"{s.profile_jobs_run} profiled, {s.profile_jobs_cached} from ledger cache, "
+        f"{s.points_resumed} resumed from store, {s.retries} retries"
+        + (", serial fallback" if s.fell_back_serial else "")
+    )
 
 
 _COMMANDS = {
@@ -115,26 +177,66 @@ _COMMANDS = {
 }
 
 
-def main(argv: list[str] | None = None) -> int:
+def _build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--max-size", type=int, default=None,
+                        help="cap dataset sizes (e.g. 64 for a smoke run; sets REPRO_MAX_SIZE)")
+    common.add_argument("--cycles", type=int, default=DEFAULT_VIZ_CYCLES,
+                        help="visualization cycles per measurement")
+    common.add_argument("--csv", default=None, metavar="DIR",
+                        help="also write CSV artifacts to DIR")
+    common.add_argument("--cache", default=DEFAULT_CACHE_PATH,
+                        help="op-ledger cache path ('' to disable)")
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce 'Power and Performance Tradeoffs for Visualization Algorithms' (IPDPS 2019)",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    parser.add_argument("command", choices=[*_COMMANDS, "all"])
-    parser.add_argument("--max-size", type=int, default=None,
-                        help="cap dataset sizes (e.g. 64 for a smoke run)")
-    parser.add_argument("--cycles", type=int, default=DEFAULT_VIZ_CYCLES,
-                        help="visualization cycles per measurement")
-    parser.add_argument("--csv", default=None, metavar="DIR",
-                        help="also write CSV artifacts to DIR")
-    parser.add_argument("--cache", default=".cache/counts.pkl",
-                        help="op-ledger cache path ('' to disable)")
-    args = parser.parse_args(argv)
+    sub = parser.add_subparsers(dest="command", required=True, metavar="command")
+    for name, help_text in [
+        ("table1", "Table I: contour sweep"),
+        ("table2", "Table II: all algorithms @128^3"),
+        ("table3", "Table III: all algorithms @256^3"),
+        ("figures", "Figs. 2-6 series summary"),
+        ("classify", "class + recommended cap per algorithm"),
+        ("all", "every table/figure command in sequence"),
+    ]:
+        sub.add_parser(name, parents=[common], help=help_text)
+
+    sweep = sub.add_parser(
+        "sweep",
+        parents=[common],
+        help="run a phase grid through the parallel, resumable engine",
+        description="Parallel sweep with a resumable JSONL result store: "
+        "interrupt it and re-invoke with the same --store to complete "
+        "only the missing points.",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sweep.add_argument("phase", nargs="?", default="phase1", choices=list(api.PHASE_NAMES),
+                       help="which factor grid to sweep (default: phase1)")
+    sweep.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="profile-job process count (default: CPU count; 0/1 = serial)")
+    sweep.add_argument("--store", default=None, metavar="PATH",
+                       help="result store path (default: .cache/sweep-<phase>.jsonl)")
+    sweep.add_argument("--resume", default=True, action=argparse.BooleanOptionalAction,
+                       help="resume from points already in the store (--no-resume wipes it)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
 
     if args.max_size is not None:
         os.environ["REPRO_MAX_SIZE"] = str(args.max_size)
 
-    harness = ExperimentHarness(args.cache or None, n_cycles=args.cycles)
+    if args.command == "sweep":
+        cmd_sweep(args)
+        return 0
+
+    harness = api.harness(args.cache or None, n_cycles=args.cycles)
     commands = list(_COMMANDS) if args.command == "all" else [args.command]
     for i, name in enumerate(commands):
         if i:

@@ -2,8 +2,10 @@
 
 from .advisor import CapRecommendation, recommend_cap, recommend_split
 from .classify import Classification, PowerClass, classify, classify_result
+from .engine import EngineStats, ProfileJob, SweepEngine, SweepError
 from .metrics import SLOWDOWN_THRESHOLD, Ratios, element_rate, energy_delay_product, first_slowdown_cap
 from .predict import ClassPrediction, predict_class, predicted_cap
+from .profiles import ProfileCache, profile_from_ledger, run_algorithm_ledger
 from .report import (
     FigureSeries,
     figure2_series,
@@ -12,7 +14,8 @@ from .report import (
     render_slowdown_table,
     render_table1,
 )
-from .runner import DEFAULT_VIZ_CYCLES, RunPoint, StudyResult, StudyRunner
+from .runner import DEFAULT_VIZ_CYCLES, RunPoint, StudyResult, StudyRunner, make_run_point
+from .store import ResultStore, StoreMismatchError, sweep_fingerprint
 from .study import (
     ALGORITHM_NAMES,
     DATASET_SIZES,
@@ -39,7 +42,18 @@ __all__ = [
     "StudyRunner",
     "StudyResult",
     "RunPoint",
+    "make_run_point",
     "DEFAULT_VIZ_CYCLES",
+    "SweepEngine",
+    "SweepError",
+    "EngineStats",
+    "ProfileJob",
+    "ResultStore",
+    "StoreMismatchError",
+    "sweep_fingerprint",
+    "ProfileCache",
+    "profile_from_ledger",
+    "run_algorithm_ledger",
     "PowerClass",
     "Classification",
     "classify",

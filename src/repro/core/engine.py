@@ -1,0 +1,401 @@
+"""Parallel, resumable sweep-execution engine.
+
+The paper's Phase 3 grid is 288 configurations, but only the 32
+(algorithm, size) pairs cost real work — each one executes the actual
+visualization algorithm to record its op-count ledger.  The 9 power
+caps per pair are repriced from that ledger on the simulated socket in
+microseconds.  The engine exploits exactly that structure:
+
+1. decompose a :class:`~repro.core.study.StudyConfig` into independent
+   *profile jobs*, one per (algorithm, size) pair that is neither fully
+   present in the result store nor ledger-cached;
+2. fan the profile jobs out across a ``ProcessPoolExecutor`` (chunked
+   scheduling window, per-job timeout, bounded retry with exponential
+   backoff, graceful degradation to serial execution when the pool
+   itself fails);
+3. reprice every missing cap in the parent process and stream each
+   completed :class:`~repro.core.runner.RunPoint` into a
+   :class:`~repro.core.store.ResultStore`, so a killed or extended
+   sweep resumes from exactly the points already on disk.
+
+Both the serial and the parallel path build profiles from the op-count
+ledger through :func:`~repro.core.profiles.profile_from_ledger`, so the
+engine's points are bitwise identical to the serial
+:class:`~repro.core.runner.StudyRunner`'s regardless of worker count,
+completion order, or how many times the sweep was interrupted.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass, field
+
+from ..machine.simulator import Processor
+from ..machine.spec import MachineSpec
+from .profiles import ProfileCache, profile_from_ledger, run_algorithm_ledger
+from .runner import DEFAULT_VIZ_CYCLES, StudyResult, make_run_point
+from .store import ResultStore, sweep_fingerprint
+from .study import StudyConfig
+
+__all__ = ["ProfileJob", "EngineStats", "SweepError", "SweepEngine", "execute_profile_job"]
+
+
+class SweepError(RuntimeError):
+    """A profile job failed after exhausting its retry budget."""
+
+
+@dataclass(frozen=True)
+class ProfileJob:
+    """One real algorithm execution: the unit of parallel work."""
+
+    algorithm: str
+    size: int
+    dataset_kind: str
+    seed: int
+
+
+def execute_profile_job(job: ProfileJob) -> dict[str, float]:
+    """Worker-process body: run the algorithm, return its op ledger.
+
+    Module-level so it pickles into pool workers; returns the ledger
+    (a small dict of floats) rather than the profile to keep IPC cheap.
+    """
+    return run_algorithm_ledger(
+        job.algorithm, job.size, dataset_kind=job.dataset_kind, seed=job.seed
+    )
+
+
+@dataclass
+class EngineStats:
+    """What one :meth:`SweepEngine.run` actually did."""
+
+    profile_jobs_run: int = 0
+    profile_jobs_cached: int = 0
+    groups_skipped: int = 0
+    points_computed: int = 0
+    points_resumed: int = 0
+    retries: int = 0
+    fell_back_serial: bool = False
+    wall_s: float = 0.0
+
+    @property
+    def throughput_pts_s(self) -> float:
+        done = self.points_computed + self.points_resumed
+        return done / self.wall_s if self.wall_s > 0 else 0.0
+
+
+class _PoolFailure(Exception):
+    """Infrastructure (not job) failure: degrade to serial execution."""
+
+
+class SweepEngine:
+    """Decompose, parallelize, and persist a study sweep.
+
+    Parameters
+    ----------
+    spec:
+        Machine to simulate (default: the study's Broadwell socket).
+    workers:
+        Process-pool width for profile jobs.  ``None`` auto-sizes to the
+        CPU count; ``0`` or ``1`` executes serially in-process.
+    timeout_s:
+        Per-profile-job wall-clock budget in pool mode (None = no limit).
+    max_retries:
+        Extra attempts per failed profile job before the sweep aborts.
+    backoff_s:
+        Base of the exponential retry backoff (``backoff_s * 2**attempt``).
+    chunk_size:
+        Scheduling window: at most this many jobs are in flight at once
+        (default ``2 * workers``), bounding queue memory for huge grids.
+    store:
+        :class:`ResultStore` or path for streamed, resumable results
+        (None = in-memory only).
+    profile_cache:
+        Shared :class:`ProfileCache` of op ledgers (None = private,
+        in-memory only).
+    profile_fn:
+        Override for the profile-job body — used to inject faults in
+        tests; must be picklable to run in pool mode.
+    progress:
+        Callable receiving event dicts (``kind`` ∈ ``profile-done``,
+        ``group-skipped``, ``serial-fallback``, ``summary``).
+    """
+
+    def __init__(
+        self,
+        spec: MachineSpec | None = None,
+        *,
+        dataset_kind: str = "blobs",
+        n_cycles: int = DEFAULT_VIZ_CYCLES,
+        seed: int = 7,
+        workers: int | None = None,
+        timeout_s: float | None = None,
+        max_retries: int = 2,
+        backoff_s: float = 0.05,
+        chunk_size: int | None = None,
+        store: ResultStore | str | os.PathLike | None = None,
+        profile_cache: ProfileCache | None = None,
+        profile_fn=None,
+        progress=None,
+    ):
+        if n_cycles < 1:
+            raise ValueError("n_cycles must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self.processor = Processor(spec) if spec is not None else Processor()
+        self.spec = self.processor.spec
+        self.dataset_kind = dataset_kind
+        self.n_cycles = int(n_cycles)
+        self.seed = seed
+        self.workers = os.cpu_count() or 1 if workers is None else max(0, int(workers))
+        self.timeout_s = timeout_s
+        self.max_retries = int(max_retries)
+        self.backoff_s = float(backoff_s)
+        self.chunk_size = chunk_size
+        self.store = ResultStore(store) if store is not None and not isinstance(store, ResultStore) else store
+        self.profile_cache = profile_cache if profile_cache is not None else ProfileCache(None)
+        self._profile_fn = profile_fn or execute_profile_job
+        self._progress = progress
+        self.stats = EngineStats()
+
+    # ----------------------------------------------------------- identity
+    def fingerprint(self) -> str:
+        """Digest of everything that determines a point's value besides
+        its (algorithm, size, cap) coordinates."""
+        return sweep_fingerprint(
+            {
+                "store_version": ResultStore.VERSION,
+                "spec": asdict(self.spec),
+                "dataset_kind": self.dataset_kind,
+                "seed": self.seed,
+                "n_cycles": self.n_cycles,
+            }
+        )
+
+    def _emit(self, kind: str, **fields) -> None:
+        if self._progress is not None:
+            self._progress({"kind": kind, **fields})
+
+    # ----------------------------------------------------------- profiles
+    def profile_for(self, algorithm: str, size: int):
+        """Cycle-scaled profile via the ledger cache (executes on a miss)."""
+        ledger = self.profile_cache.get(algorithm, size)
+        if ledger is None:
+            ledger = run_algorithm_ledger(
+                algorithm, size, dataset_kind=self.dataset_kind, seed=self.seed
+            )
+            self.profile_cache.put(algorithm, size, ledger)
+            self.stats.profile_jobs_run += 1
+        return profile_from_ledger(algorithm, size, ledger, n_cycles=self.n_cycles)
+
+    # ---------------------------------------------------------------- sweep
+    def run(self, config: StudyConfig, *, resume: bool = True) -> StudyResult:
+        """Execute a phase grid, skipping points already in the store.
+
+        With ``resume=False`` an existing store is wiped and rebound to
+        this sweep's fingerprint instead of being resumed.
+        """
+        t0 = time.perf_counter()
+        self.stats = EngineStats()
+        done: dict[tuple[str, int, float], object] = {}
+        if self.store is not None:
+            fp = self.fingerprint()
+            meta = {"config_name": config.name, "spec": self.spec.name, "n_cycles": self.n_cycles}
+            if resume:
+                self.store.ensure_compatible(fp, meta)
+                done = self.store.points
+            else:
+                self.store.reset(fp, meta)
+
+        caps = tuple(config.caps_w)
+        default_cap = config.default_cap_w
+        groups = [(a, s) for a in config.algorithms for s in config.sizes]
+        results: dict[tuple[str, int, float], object] = {}
+        todo: list[tuple[str, int]] = []
+        for alg, size in groups:
+            missing = [c for c in caps if (alg, size, c) not in done]
+            present = [c for c in caps if (alg, size, c) in done]
+            for c in present:
+                results[(alg, size, c)] = done[(alg, size, c)]
+            self.stats.points_resumed += len(present)
+            if missing:
+                todo.append((alg, size))
+            else:
+                self.stats.groups_skipped += 1
+                self._emit("group-skipped", algorithm=alg, size=size)
+
+        def price_group(alg: str, size: int) -> None:
+            """Reprice every missing cap of a group and stream it to the store."""
+            profile = profile_from_ledger(
+                alg, size, self.profile_cache.get(alg, size), n_cycles=self.n_cycles
+            )
+            base = self.processor.run(profile, default_cap)
+            for cap in caps:
+                key = (alg, size, cap)
+                if key in results:
+                    continue
+                run = base if cap == default_cap else self.processor.run(profile, cap)
+                point = make_run_point(alg, size, cap, run, base, default_cap)
+                results[key] = point
+                self.stats.points_computed += 1
+                if self.store is not None:
+                    self.store.append(point)
+
+        # Ledger-cached groups are priced immediately; the rest become
+        # profile jobs, each group priced the moment its job completes —
+        # an interrupted sweep keeps every finished group's points.
+        jobs: list[ProfileJob] = []
+        for alg, size in todo:
+            if self.profile_cache.get(alg, size) is None:
+                jobs.append(ProfileJob(alg, size, self.dataset_kind, self.seed))
+            else:
+                self.stats.profile_jobs_cached += 1
+                price_group(alg, size)
+        self._execute_jobs(jobs, on_done=price_group)
+
+        ordered = [
+            results[(a, s, c)] for a in config.algorithms for s in config.sizes for c in caps
+        ]
+        self.stats.wall_s = time.perf_counter() - t0
+        self._emit(
+            "summary",
+            config=config.name,
+            points=len(ordered),
+            computed=self.stats.points_computed,
+            resumed=self.stats.points_resumed,
+            jobs_run=self.stats.profile_jobs_run,
+            jobs_cached=self.stats.profile_jobs_cached,
+            retries=self.stats.retries,
+            wall_s=self.stats.wall_s,
+            throughput_pts_s=self.stats.throughput_pts_s,
+        )
+        return StudyResult(config_name=config.name, points=ordered)
+
+    # ------------------------------------------------------- job execution
+    def _execute_jobs(self, jobs: list[ProfileJob], on_done=None) -> None:
+        if not jobs:
+            return
+        remaining = jobs
+        if self.workers > 1 and len(jobs) > 1:
+            try:
+                self._run_pool(jobs, on_done)
+                return
+            except _PoolFailure as exc:
+                self.stats.fell_back_serial = True
+                self._emit("serial-fallback", reason=str(exc.__cause__ or exc))
+                remaining = [
+                    j for j in jobs if self.profile_cache.get(j.algorithm, j.size) is None
+                ]
+        self._run_serial(remaining, on_done)
+
+    def _record(
+        self, job: ProfileJob, ledger: dict[str, float], done: int, total: int, dt: float, on_done
+    ) -> None:
+        self.profile_cache.put(job.algorithm, job.size, ledger)
+        self.stats.profile_jobs_run += 1
+        self._emit(
+            "profile-done",
+            algorithm=job.algorithm,
+            size=job.size,
+            completed=done,
+            total=total,
+            elapsed_s=dt,
+        )
+        if on_done is not None:
+            on_done(job.algorithm, job.size)
+
+    def _run_serial(self, jobs: list[ProfileJob], on_done=None) -> None:
+        total = len(jobs)
+        for i, job in enumerate(jobs, start=1):
+            t0 = time.perf_counter()
+            attempt = 0
+            while True:
+                try:
+                    ledger = self._profile_fn(job)
+                    break
+                except Exception as exc:
+                    attempt += 1
+                    if attempt > self.max_retries:
+                        raise SweepError(
+                            f"profile job {job.algorithm}@{job.size} failed "
+                            f"after {attempt} attempts: {exc}"
+                        ) from exc
+                    self.stats.retries += 1
+                    time.sleep(self.backoff_s * 2 ** (attempt - 1))
+            self._record(job, ledger, i, total, time.perf_counter() - t0, on_done)
+
+    def _run_pool(self, jobs: list[ProfileJob], on_done=None) -> None:
+        window = self.chunk_size or max(2 * self.workers, 4)
+        pending: deque[ProfileJob] = deque(jobs)
+        attempts: dict[ProfileJob, int] = {}
+        total = len(jobs)
+        completed = 0
+        try:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                in_flight: dict = {}
+                while pending or in_flight:
+                    while pending and len(in_flight) < window:
+                        job = pending.popleft()
+                        fut = pool.submit(self._profile_fn, job)
+                        deadline = (
+                            time.monotonic() + self.timeout_s if self.timeout_s else None
+                        )
+                        in_flight[fut] = (job, time.perf_counter(), deadline)
+                    tick = None
+                    if self.timeout_s:
+                        deadlines = [d for (_, _, d) in in_flight.values() if d]
+                        if deadlines:
+                            tick = max(0.0, min(deadlines) - time.monotonic()) + 0.01
+                    finished, _ = wait(set(in_flight), timeout=tick, return_when=FIRST_COMPLETED)
+                    now = time.monotonic()
+                    if not finished:
+                        for fut in [
+                            f for f, (_, _, d) in in_flight.items() if d and now >= d
+                        ]:
+                            job, _, _ = in_flight.pop(fut)
+                            fut.cancel()
+                            self._retry_or_raise(
+                                job, TimeoutError(f"exceeded {self.timeout_s}s"), attempts, pending
+                            )
+                        continue
+                    for fut in finished:
+                        job, t0, _ = in_flight.pop(fut)
+                        try:
+                            ledger = fut.result()
+                        except BrokenExecutor as exc:
+                            raise _PoolFailure("process pool broke") from exc
+                        except Exception as exc:
+                            # Serialization failures (PicklingError, or the
+                            # AttributeError/TypeError CPython raises for
+                            # local objects) mean the pool can never run
+                            # this work — degrade rather than retry.
+                            if isinstance(exc, pickle.PicklingError) or (
+                                isinstance(exc, (AttributeError, TypeError))
+                                and "pickle" in str(exc).lower()
+                            ):
+                                raise _PoolFailure("job not picklable") from exc
+                            self._retry_or_raise(job, exc, attempts, pending)
+                        else:
+                            completed += 1
+                            self._record(
+                                job, ledger, completed, total, time.perf_counter() - t0, on_done
+                            )
+        except _PoolFailure:
+            raise
+        except (BrokenExecutor, OSError) as exc:
+            raise _PoolFailure("process pool unavailable") from exc
+
+    def _retry_or_raise(self, job, exc, attempts, pending) -> None:
+        attempts[job] = attempts.get(job, 0) + 1
+        if attempts[job] > self.max_retries:
+            raise SweepError(
+                f"profile job {job.algorithm}@{job.size} failed "
+                f"after {attempts[job]} attempts: {exc}"
+            ) from exc
+        self.stats.retries += 1
+        time.sleep(self.backoff_s * 2 ** (attempts[job] - 1))
+        pending.append(job)

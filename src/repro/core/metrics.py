@@ -48,6 +48,14 @@ class Ratios:
             fratio=freq_default_ghz / freq_ghz,
         )
 
+    def to_dict(self) -> dict[str, float]:
+        """Plain-dict form for JSON serialization."""
+        return {"pratio": self.pratio, "tratio": self.tratio, "fratio": self.fratio}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Ratios":
+        return cls(pratio=float(d["pratio"]), tratio=float(d["tratio"]), fratio=float(d["fratio"]))
+
     @property
     def is_good_tradeoff(self) -> bool:
         """The paper's key comparison: data-intensive enough that the

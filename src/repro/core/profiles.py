@@ -1,0 +1,151 @@
+"""Profile ledgers: record once, re-price forever.
+
+The expensive half of every sweep is executing the real algorithm; the
+cheap half is pricing its work profile on the simulated socket.  The
+bridge between them is the *op-count ledger* — the
+:class:`~repro.viz.base.OpCounts` dictionary a filter fills while it
+runs.  A ledger is tiny, JSON-serializable, and (together with the grid
+geometry) reproduces the work profile bitwise via
+:meth:`~repro.viz.base.Filter.profile_from_counts`.
+
+This module owns that bridge for the whole repo:
+
+* :func:`run_algorithm_ledger` — execute the real algorithm, return its
+  ledger (the sweep engine's worker-process job body).
+* :func:`profile_from_ledger` — ledger → cycle-scaled
+  :class:`~repro.workload.WorkProfile`, the single pricing path used by
+  the engine, the harness, and the facade.
+* :class:`ProfileCache` — the versioned JSON cache of ledgers shared by
+  the harness and the engine, with one-time migration of the legacy
+  pickle ``counts.pkl`` format.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from pathlib import Path
+
+from ..data.fields import DataSet
+from ..data.generators import make_dataset
+from ..data.grid import UniformGrid
+from ..viz import ALGORITHMS
+from ..viz.base import OpCounts
+from ..workload import WorkProfile
+
+__all__ = ["ProfileCache", "profile_from_ledger", "run_algorithm_ledger"]
+
+
+def run_algorithm_ledger(
+    algorithm: str,
+    size: int,
+    *,
+    dataset_kind: str = "blobs",
+    seed: int = 7,
+) -> dict[str, float]:
+    """Execute the real algorithm once and return its op-count ledger."""
+    if algorithm not in ALGORITHMS:
+        raise KeyError(f"unknown algorithm {algorithm!r}")
+    ds = make_dataset(size, kind=dataset_kind, seed=seed)
+    result = ALGORITHMS[algorithm]().execute(ds)
+    return result.counts.as_dict()
+
+
+def profile_from_ledger(
+    algorithm: str,
+    size: int,
+    ledger: dict[str, float],
+    *,
+    n_cycles: int = 1,
+) -> WorkProfile:
+    """Rebuild the cycle-scaled work profile from a recorded ledger.
+
+    The filters derive segments from the ledger plus grid geometry only
+    (never field values), so the reconstruction is bitwise identical to
+    the profile of the original execution.
+    """
+    if algorithm not in ALGORITHMS:
+        raise KeyError(f"unknown algorithm {algorithm!r}")
+    ds = DataSet(UniformGrid.cube(size))
+    counts = OpCounts()
+    counts.counts.update(ledger)
+    prof = ALGORITHMS[algorithm]().profile_from_counts(ds, counts)
+    scaled = WorkProfile(
+        name=f"{algorithm}@{size}",
+        n_elements=prof.n_elements,
+        metadata=dict(prof.metadata, n_cycles=n_cycles),
+    )
+    scaled.segments = [s.scaled(n_cycles) for s in prof.segments]
+    return scaled
+
+
+class ProfileCache:
+    """Persistent (algorithm, size) → ledger cache, versioned JSON on disk.
+
+    ``path=None`` keeps the cache in memory only.  A ``.pkl`` path (the
+    legacy pickle format) is transparently redirected to its ``.json``
+    sibling; an existing pickle cache is migrated once on first load and
+    left on disk untouched.
+    """
+
+    FORMAT = "repro-profile-cache"
+    VERSION = 1
+
+    def __init__(self, path: str | Path | None = None):
+        self._entries: dict[str, dict[str, float]] = {}
+        self.path: Path | None = None
+        if path is None:
+            return
+        p = Path(path)
+        legacy = p if p.suffix == ".pkl" else p.with_suffix(".pkl")
+        if p.suffix == ".pkl":
+            p = p.with_suffix(".json")
+        self.path = p
+        if p.exists():
+            self._load_json(p)
+        elif legacy.exists():
+            self._migrate_pickle(legacy)
+
+    @staticmethod
+    def _key(algorithm: str, size: int) -> str:
+        return f"{algorithm}/{int(size)}"
+
+    def _load_json(self, p: Path) -> None:
+        doc = json.loads(p.read_text())
+        if doc.get("format") != self.FORMAT:
+            raise ValueError(f"{p} is not a profile cache (format={doc.get('format')!r})")
+        if int(doc.get("version", 1)) > self.VERSION:
+            raise ValueError(
+                f"{p} has cache version {doc['version']}, newer than supported {self.VERSION}"
+            )
+        self._entries = {k: dict(v) for k, v in doc["entries"].items()}
+
+    def _migrate_pickle(self, legacy: Path) -> None:
+        raw = pickle.loads(legacy.read_bytes())
+        self._entries = {
+            self._key(alg, size): {k: float(v) for k, v in counts.items()}
+            for (alg, size), counts in raw.items()
+        }
+        self._save()
+
+    def _save(self) -> None:
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {"format": self.FORMAT, "version": self.VERSION, "entries": self._entries}
+        self.path.write_text(json.dumps(doc, sort_keys=True))
+
+    # ------------------------------------------------------------------ access
+    def get(self, algorithm: str, size: int) -> dict[str, float] | None:
+        entry = self._entries.get(self._key(algorithm, size))
+        return dict(entry) if entry is not None else None
+
+    def put(self, algorithm: str, size: int, ledger: dict[str, float]) -> None:
+        self._entries[self._key(algorithm, size)] = dict(ledger)
+        self._save()
+
+    def __contains__(self, key: tuple[str, int]) -> bool:
+        return self._key(*key) in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

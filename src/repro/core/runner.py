@@ -13,7 +13,9 @@ configurations require only 32 real algorithm executions.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from ..data.fields import DataSet
 from ..data.generators import make_dataset
@@ -24,7 +26,11 @@ from ..workload import WorkProfile
 from .metrics import Ratios
 from .study import StudyConfig
 
-__all__ = ["RunPoint", "StudyResult", "StudyRunner", "DEFAULT_VIZ_CYCLES"]
+__all__ = ["RunPoint", "StudyResult", "StudyRunner", "make_run_point", "DEFAULT_VIZ_CYCLES"]
+
+#: Format tag + version of the StudyResult JSON-lines serialization.
+RESULT_FORMAT = "repro-study-result"
+RESULT_VERSION = 1
 
 #: Visualization cycles per run: the study couples CloverLeaf's ~87-step
 #: benchmark with per-cycle visualization; total times in its tables
@@ -58,6 +64,50 @@ class RunPoint:
     @property
     def fratio(self) -> float:
         return self.ratios.fratio
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        """Plain-dict form; floats round-trip bitwise through JSON."""
+        return {
+            "algorithm": self.algorithm,
+            "size": self.size,
+            "cap_w": self.cap_w,
+            "time_s": self.time_s,
+            "energy_j": self.energy_j,
+            "power_w": self.power_w,
+            "freq_ghz": self.freq_ghz,
+            "ipc": self.ipc,
+            "llc_miss_rate": self.llc_miss_rate,
+            "ratios": self.ratios.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunPoint":
+        return cls(
+            algorithm=str(d["algorithm"]),
+            size=int(d["size"]),
+            cap_w=float(d["cap_w"]),
+            time_s=float(d["time_s"]),
+            energy_j=float(d["energy_j"]),
+            power_w=float(d["power_w"]),
+            freq_ghz=float(d["freq_ghz"]),
+            ipc=float(d["ipc"]),
+            llc_miss_rate=float(d["llc_miss_rate"]),
+            ratios=Ratios.from_dict(d["ratios"]),
+        )
+
+    def to_jsonl(self) -> str:
+        """One JSON line (no trailing newline)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_jsonl(cls, line: str) -> "RunPoint":
+        return cls.from_dict(json.loads(line))
+
+    @property
+    def key(self) -> tuple[str, int, float]:
+        """The configuration cell this point measures."""
+        return (self.algorithm, self.size, self.cap_w)
 
 
 @dataclass
@@ -100,6 +150,102 @@ class StudyResult:
     @property
     def caps(self) -> list[float]:
         return sorted({p.cap_w for p in self.points}, reverse=True)
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        return {
+            "format": RESULT_FORMAT,
+            "version": RESULT_VERSION,
+            "config_name": self.config_name,
+            "points": [p.to_dict() for p in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "StudyResult":
+        if d.get("format", RESULT_FORMAT) != RESULT_FORMAT:
+            raise ValueError(f"not a study result: format={d.get('format')!r}")
+        version = int(d.get("version", 1))
+        if version > RESULT_VERSION:
+            raise ValueError(f"study result version {version} is newer than supported {RESULT_VERSION}")
+        return cls(
+            config_name=str(d["config_name"]),
+            points=[RunPoint.from_dict(p) for p in d["points"]],
+        )
+
+    def to_jsonl(self, path: str | Path | None = None) -> str:
+        """JSON-lines form: a header line, then one line per point.
+
+        When ``path`` is given the text is also written there.
+        """
+        header = {
+            "format": RESULT_FORMAT,
+            "version": RESULT_VERSION,
+            "config_name": self.config_name,
+        }
+        lines = [json.dumps(header, sort_keys=True)]
+        lines.extend(p.to_jsonl() for p in self.points)
+        text = "\n".join(lines) + "\n"
+        if path is not None:
+            out = Path(path)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(text)
+        return text
+
+    @classmethod
+    def from_jsonl(cls, source: str | Path) -> "StudyResult":
+        """Parse :meth:`to_jsonl` output (a path or the text itself)."""
+        if isinstance(source, Path) or (isinstance(source, str) and "\n" not in source):
+            text = Path(source).read_text()
+        else:
+            text = source
+        lines = [ln for ln in text.splitlines() if ln.strip()]
+        if not lines:
+            raise ValueError("empty study result")
+        header = json.loads(lines[0])
+        if header.get("format") != RESULT_FORMAT:
+            raise ValueError(f"not a study result: format={header.get('format')!r}")
+        if int(header.get("version", 1)) > RESULT_VERSION:
+            raise ValueError(f"study result version {header['version']} is newer than supported {RESULT_VERSION}")
+        return cls(
+            config_name=str(header["config_name"]),
+            points=[RunPoint.from_jsonl(ln) for ln in lines[1:]],
+        )
+
+
+def make_run_point(
+    algorithm: str,
+    size: int,
+    cap: float,
+    run: RunResult,
+    base: RunResult,
+    default_cap: float,
+) -> RunPoint:
+    """Assemble one table cell from a capped run and its TDP baseline.
+
+    Shared by the serial :class:`StudyRunner` and the parallel
+    :class:`~repro.core.engine.SweepEngine` so both produce bitwise
+    identical points from the same ``RunResult`` pair.
+    """
+    ratios = Ratios.from_measurements(
+        cap_default_w=default_cap,
+        cap_w=cap,
+        time_default_s=base.time_s,
+        time_s=run.time_s,
+        freq_default_ghz=base.effective_freq_ghz,
+        freq_ghz=run.effective_freq_ghz,
+    )
+    return RunPoint(
+        algorithm=algorithm,
+        size=size,
+        cap_w=cap,
+        time_s=run.time_s,
+        energy_j=run.energy_j,
+        power_w=run.avg_power_w,
+        freq_ghz=run.effective_freq_ghz,
+        ipc=run.ipc,
+        llc_miss_rate=run.llc_miss_rate,
+        ratios=ratios,
+    )
 
 
 class StudyRunner:
@@ -189,23 +335,4 @@ class StudyRunner:
         base: RunResult,
         default_cap: float,
     ) -> RunPoint:
-        ratios = Ratios.from_measurements(
-            cap_default_w=default_cap,
-            cap_w=cap,
-            time_default_s=base.time_s,
-            time_s=run.time_s,
-            freq_default_ghz=base.effective_freq_ghz,
-            freq_ghz=run.effective_freq_ghz,
-        )
-        return RunPoint(
-            algorithm=algorithm,
-            size=size,
-            cap_w=cap,
-            time_s=run.time_s,
-            energy_j=run.energy_j,
-            power_w=run.avg_power_w,
-            freq_ghz=run.effective_freq_ghz,
-            ipc=run.ipc,
-            llc_miss_rate=run.llc_miss_rate,
-            ratios=ratios,
-        )
+        return make_run_point(algorithm, size, cap, run, base, default_cap)

@@ -1,0 +1,154 @@
+"""Resumable result store: completed sweep points as JSON lines.
+
+A store file is a header line followed by one :class:`RunPoint` per
+line, appended as the sweep engine completes them::
+
+    {"format": "repro-sweep-store", "version": 1, "fingerprint": "...", "meta": {...}}
+    {"algorithm": "contour", "size": 128, "cap_w": 120.0, ...}
+    {"algorithm": "contour", "size": 128, "cap_w": 110.0, ...}
+
+The header's *fingerprint* hashes everything that determines a point's
+value besides the (algorithm, size, cap) coordinates — machine spec,
+dataset kind, seed, cycle count — so a store can only ever accumulate
+points from one sweep context.  Resuming or *extending* a sweep (more
+algorithms, sizes, or caps) appends to the same file; pointing an engine
+with different parameters at it raises :class:`StoreMismatchError`
+rather than silently mixing incomparable measurements.
+
+Appends are flushed per point and a torn final line (a run killed
+mid-write) is detected and truncated on the next open, so an interrupted
+sweep resumes from exactly the points that made it to disk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Iterator
+
+from .runner import RunPoint, StudyResult
+
+__all__ = ["ResultStore", "StoreMismatchError", "sweep_fingerprint"]
+
+
+class StoreMismatchError(ValueError):
+    """The store on disk was produced under a different sweep context."""
+
+
+def sweep_fingerprint(payload: dict) -> str:
+    """Stable digest of the sweep context (spec, dataset, seed, cycles)."""
+    text = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+class ResultStore:
+    """Append-only JSONL store of completed :class:`RunPoint`\\ s."""
+
+    FORMAT = "repro-sweep-store"
+    VERSION = 1
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.fingerprint: str | None = None
+        self.meta: dict = {}
+        self._points: dict[tuple[str, int, float], RunPoint] = {}
+        if self.path.exists() and self.path.stat().st_size > 0:
+            self._load()
+
+    # -------------------------------------------------------------- loading
+    def _load(self) -> None:
+        text = self.path.read_text()
+        lines = text.splitlines(keepends=True)
+        header = json.loads(lines[0])
+        if header.get("format") != self.FORMAT:
+            raise ValueError(f"{self.path} is not a sweep store (format={header.get('format')!r})")
+        if int(header.get("version", 1)) > self.VERSION:
+            raise ValueError(
+                f"{self.path} has store version {header['version']}, newer than supported {self.VERSION}"
+            )
+        self.fingerprint = header.get("fingerprint")
+        self.meta = dict(header.get("meta", {}))
+        good_bytes = len(lines[0])
+        for i, line in enumerate(lines[1:], start=1):
+            stripped = line.strip()
+            if not stripped:
+                good_bytes += len(line)
+                continue
+            try:
+                point = RunPoint.from_jsonl(stripped)
+            except (ValueError, KeyError):
+                if i == len(lines) - 1:
+                    # Torn tail from a killed run: drop it so later
+                    # appends don't concatenate onto garbage.
+                    with open(self.path, "r+") as fh:
+                        fh.truncate(good_bytes)
+                    break
+                raise ValueError(f"{self.path}: corrupt record on line {i + 1}") from None
+            self._points[point.key] = point
+            good_bytes += len(line)
+
+    # -------------------------------------------------------------- identity
+    def ensure_compatible(self, fingerprint: str, meta: dict | None = None) -> None:
+        """Bind a fresh store to a sweep context, or verify an existing one."""
+        if self.fingerprint is None:
+            self.fingerprint = fingerprint
+            self.meta = dict(meta or {})
+            self._write_header()
+        elif self.fingerprint != fingerprint:
+            raise StoreMismatchError(
+                f"{self.path} was produced under fingerprint {self.fingerprint} "
+                f"but this sweep has {fingerprint} (different machine spec, dataset, "
+                f"seed, or cycle count); refusing to mix results — use a fresh --store path"
+            )
+
+    def reset(self, fingerprint: str, meta: dict | None = None) -> None:
+        """Discard all stored points and rebind to a new context."""
+        self._points.clear()
+        self.fingerprint = fingerprint
+        self.meta = dict(meta or {})
+        self._write_header()
+
+    def _write_header(self) -> None:
+        header = {
+            "format": self.FORMAT,
+            "version": self.VERSION,
+            "fingerprint": self.fingerprint,
+            "meta": self.meta,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        body = "".join(p.to_jsonl() + "\n" for p in self._points.values())
+        self.path.write_text(json.dumps(header, sort_keys=True) + "\n" + body)
+
+    # -------------------------------------------------------------- contents
+    def append(self, point: RunPoint) -> None:
+        if self.fingerprint is None:
+            raise RuntimeError("store has no fingerprint; call ensure_compatible() first")
+        self._points[point.key] = point
+        with open(self.path, "a") as fh:
+            fh.write(point.to_jsonl() + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def __contains__(self, key: tuple[str, int, float]) -> bool:
+        return key in self._points
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[RunPoint]:
+        return iter(self._points.values())
+
+    @property
+    def points(self) -> dict[tuple[str, int, float], RunPoint]:
+        """Completed points keyed by (algorithm, size, cap_w)."""
+        return dict(self._points)
+
+    def completed_keys(self) -> set[tuple[str, int, float]]:
+        return set(self._points)
+
+    def load_result(self, config_name: str | None = None) -> StudyResult:
+        """All stored points as a :class:`StudyResult` (insertion order)."""
+        name = config_name or self.meta.get("config_name") or self.path.stem
+        return StudyResult(config_name=name, points=list(self._points.values()))

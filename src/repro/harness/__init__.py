@@ -1,10 +1,12 @@
 """Experiment harness: table/figure drivers and result emitters."""
 
 from .emit import result_to_csv, result_to_markdown, series_to_csv
-from .experiments import ExperimentHarness, effective_sizes
+from .experiments import DEFAULT_CACHE_PATH, ExperimentHarness, TableHarness, effective_sizes
 
 __all__ = [
+    "TableHarness",
     "ExperimentHarness",
+    "DEFAULT_CACHE_PATH",
     "effective_sizes",
     "result_to_csv",
     "result_to_markdown",

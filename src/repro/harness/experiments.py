@@ -1,20 +1,29 @@
 """Experiment harness: one driver per paper table/figure.
 
-The harness wraps :class:`~repro.core.runner.StudyRunner` with a
-persistent op-count cache: each (algorithm, size) pair's real execution
-is recorded once under ``.cache/counts.pkl`` and re-priced thereafter,
-so regenerating all tables and figures after the first run takes
-seconds.  ``REPRO_MAX_SIZE`` (environment) caps the dataset sizes for
-smoke runs on small machines.
+The harness is a thin client of the sweep engine
+(:class:`~repro.core.engine.SweepEngine`): each (algorithm, size) pair's
+real execution is recorded once in a versioned JSON ledger cache
+(``.cache/counts.json``; legacy pickle ``counts.pkl`` caches migrate
+automatically) and re-priced thereafter, so regenerating all tables and
+figures after the first run takes seconds.  ``REPRO_MAX_SIZE``
+(environment) caps the dataset sizes for smoke runs on small machines.
+
+New code should reach the harness through the :mod:`repro.api` facade
+(``repro.api.harness()`` / ``repro.api.run_study()``); constructing
+:class:`ExperimentHarness` directly is deprecated in favor of the
+facade, and kept as a warning shim over :class:`TableHarness`.
 """
 
 from __future__ import annotations
 
 import os
-import pickle
+import warnings
 from pathlib import Path
 
-from ..core.runner import DEFAULT_VIZ_CYCLES, StudyResult, StudyRunner
+from ..core.engine import SweepEngine
+from ..core.profiles import ProfileCache
+from ..core.runner import DEFAULT_VIZ_CYCLES, StudyResult
+from ..core.store import ResultStore
 from ..core.study import (
     ALGORITHM_NAMES,
     DATASET_SIZES,
@@ -23,19 +32,34 @@ from ..core.study import (
     phase2_config,
     phase3_config,
 )
-from ..data.fields import DataSet
-from ..data.grid import UniformGrid
-from ..viz import ALGORITHMS
-from ..viz.base import OpCounts
 from ..workload import WorkProfile
 
-__all__ = ["ExperimentHarness", "effective_sizes"]
+__all__ = ["TableHarness", "ExperimentHarness", "effective_sizes", "DEFAULT_CACHE_PATH"]
+
+#: Default ledger-cache location (JSON; a legacy ``counts.pkl`` migrates).
+DEFAULT_CACHE_PATH = ".cache/counts.json"
 
 
 def effective_sizes(requested: tuple[int, ...] = DATASET_SIZES) -> tuple[int, ...]:
     """The requested sizes, capped by the REPRO_MAX_SIZE environment
-    variable (useful to smoke-test the full harness quickly)."""
-    cap = int(os.environ.get("REPRO_MAX_SIZE", "0") or 0)
+    variable (useful to smoke-test the full harness quickly).
+
+    Raises
+    ------
+    ValueError
+        If ``REPRO_MAX_SIZE`` is set to something that is not a whole
+        number (e.g. ``REPRO_MAX_SIZE=64.5`` or ``REPRO_MAX_SIZE=big``).
+    """
+    raw = os.environ.get("REPRO_MAX_SIZE", "").strip()
+    if not raw:
+        return tuple(requested)
+    try:
+        cap = int(raw, 10)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_MAX_SIZE must be a whole number of cells per axis "
+            f"(e.g. REPRO_MAX_SIZE=64), got {raw!r}"
+        ) from None
     if cap <= 0:
         return tuple(requested)
     kept = tuple(s for s in requested if s <= cap)
@@ -44,68 +68,61 @@ def effective_sizes(requested: tuple[int, ...] = DATASET_SIZES) -> tuple[int, ..
     return kept if kept else (cap,)
 
 
-class ExperimentHarness:
-    """Regenerates the paper's tables and figures.
+class TableHarness:
+    """Regenerates the paper's tables and figures through the engine.
 
     Parameters
     ----------
     cache_path:
-        Where recorded op ledgers live (None disables persistence).
+        Where recorded op ledgers live (None disables persistence;
+        a ``.pkl`` path is migrated to its JSON sibling).
     n_cycles:
         Visualization cycles aggregated per measurement.
+    workers:
+        Process-pool width for uncached profile executions (``0``/``1``
+        runs serially, the default here — table-sized grids rarely pay
+        for pool startup; ``python -m repro sweep`` defaults to parallel).
+    store:
+        Optional :class:`~repro.core.store.ResultStore` (or path) to
+        stream completed points into, enabling resumable sweeps.
     """
 
     def __init__(
         self,
-        cache_path: str | Path | None = ".cache/counts.pkl",
+        cache_path: str | Path | None = DEFAULT_CACHE_PATH,
         *,
         n_cycles: int = DEFAULT_VIZ_CYCLES,
         seed: int = 7,
+        workers: int = 0,
+        store: ResultStore | str | Path | None = None,
+        progress=None,
     ):
-        self.cache_path = Path(cache_path) if cache_path else None
-        self.runner = StudyRunner(n_cycles=n_cycles, seed=seed)
+        self.profile_cache = ProfileCache(cache_path)
+        self.cache_path = self.profile_cache.path
+        self.engine = SweepEngine(
+            n_cycles=n_cycles,
+            seed=seed,
+            workers=workers,
+            store=store,
+            profile_cache=self.profile_cache,
+            progress=progress,
+        )
         self.n_cycles = n_cycles
-        self._counts: dict[tuple[str, int], dict] = {}
-        if self.cache_path and self.cache_path.exists():
-            self._counts = pickle.loads(self.cache_path.read_bytes())
+
+    @property
+    def processor(self):
+        """The simulated socket (for spec introspection)."""
+        return self.engine.processor
 
     # ------------------------------------------------------------- profiles
     def profile(self, algorithm: str, size: int) -> WorkProfile:
         """Profile from the ledger cache, executing for real on a miss."""
-        key = (algorithm, size)
-        if key in self._counts:
-            ds = DataSet(UniformGrid.cube(size))
-            f = ALGORITHMS[algorithm]()
-            oc = OpCounts()
-            oc.counts.update(self._counts[key])
-            prof = f.profile_from_counts(ds, oc)
-            scaled = WorkProfile(
-                name=f"{algorithm}@{size}",
-                n_elements=prof.n_elements,
-                metadata=dict(prof.metadata, n_cycles=self.n_cycles),
-            )
-            scaled.segments = [s.scaled(self.n_cycles) for s in prof.segments]
-            self.runner._profiles[key] = scaled
-            return scaled
-
-        prof = self.runner.profile_for(algorithm, size)
-        raw = prof.metadata.get("counts", {})
-        self._counts[key] = raw
-        self._save()
-        return prof
-
-    def _save(self) -> None:
-        if self.cache_path:
-            self.cache_path.parent.mkdir(parents=True, exist_ok=True)
-            self.cache_path.write_bytes(pickle.dumps(self._counts))
+        return self.engine.profile_for(algorithm, size)
 
     # ---------------------------------------------------------------- sweeps
     def sweep(self, config: StudyConfig) -> StudyResult:
-        """Run a phase grid, pre-warming profiles through the cache."""
-        for alg in config.algorithms:
-            for size in config.sizes:
-                self.profile(alg, size)
-        return self.runner.run_config(config)
+        """Run a phase grid through the engine (cache- and store-aware)."""
+        return self.engine.run(config)
 
     # ----------------------------------------------------- per-experiment API
     def table1(self) -> StudyResult:
@@ -129,3 +146,20 @@ class ExperimentHarness:
         """Figs. 4–6: all algorithms across all four sizes (Phase 3)."""
         cfg = phase3_config(effective_sizes(DATASET_SIZES))
         return self.sweep(cfg)
+
+
+class ExperimentHarness(TableHarness):
+    """Deprecated alias of :class:`TableHarness`.
+
+    Old imports keep working, but new code should use
+    ``repro.api.harness()`` (or :class:`TableHarness` directly).
+    """
+
+    def __init__(self, *args, **kwargs):
+        warnings.warn(
+            "constructing ExperimentHarness directly is deprecated; "
+            "use repro.api.harness() or repro.api.run_study() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)

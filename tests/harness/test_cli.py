@@ -44,3 +44,57 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["nope"])
+
+    def test_help_documents_repro_max_size(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        assert "REPRO_MAX_SIZE" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_sweep_runs_and_reports_throughput(self, capsys, small):
+        rc = main([
+            "sweep", "phase1", "--workers", "0", "--cycles", "2",
+            "--store", str(small / "sweep.jsonl"), "--cache", str(small / "c.json"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "9 configurations" in out
+        assert "pts/s" in out
+        assert "1 profiled" in out
+        assert (small / "sweep.jsonl").exists()
+
+    def test_sweep_resumes_from_store(self, capsys, small):
+        argv = [
+            "sweep", "phase1", "--workers", "0", "--cycles", "2",
+            "--store", str(small / "sweep.jsonl"), "--cache", str(small / "c.json"),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 profiled" in out
+        assert "9 resumed from store" in out
+
+    def test_sweep_no_resume_recomputes(self, capsys, small):
+        argv = [
+            "sweep", "phase1", "--workers", "0", "--cycles", "2",
+            "--store", str(small / "sweep.jsonl"), "--cache", str(small / "c.json"),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--no-resume"]) == 0
+        out = capsys.readouterr().out
+        assert "0 resumed from store" in out
+
+    def test_sweep_parallel_workers(self, capsys, small):
+        rc = main([
+            "sweep", "phase1", "--workers", "2", "--cycles", "1",
+            "--store", str(small / "p.jsonl"), "--cache", "",
+        ])
+        assert rc == 0
+        assert "2 workers" in capsys.readouterr().out
+
+    def test_sweep_rejects_unknown_phase(self, small):
+        with pytest.raises(SystemExit):
+            main(["sweep", "phase9"])

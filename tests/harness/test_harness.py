@@ -1,12 +1,14 @@
-"""Experiment harness and emitters."""
+"""Experiment harness, ledger cache (JSON + pickle migration), emitters."""
 
-import os
+import pickle
 
 import pytest
 
 from repro.core import StudyConfig, StudyRunner
+from repro.core.profiles import ProfileCache
 from repro.harness import (
     ExperimentHarness,
+    TableHarness,
     effective_sizes,
     result_to_csv,
     result_to_markdown,
@@ -35,36 +37,86 @@ class TestEffectiveSizes:
         monkeypatch.setenv("REPRO_MAX_SIZE", "8")
         assert effective_sizes((32, 64)) == (8,)
 
+    def test_zero_and_blank_disable_cap(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_SIZE", "0")
+        assert effective_sizes((32, 64)) == (32, 64)
+        monkeypatch.setenv("REPRO_MAX_SIZE", "  ")
+        assert effective_sizes((32, 64)) == (32, 64)
+
+    @pytest.mark.parametrize("bad", ["64.5", "big", "1e3"])
+    def test_non_integer_raises_clear_error(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_MAX_SIZE", bad)
+        with pytest.raises(ValueError, match="REPRO_MAX_SIZE must be a whole number"):
+            effective_sizes((32, 64))
+
 
 class TestHarnessCache:
     def test_profile_persisted_and_reloaded(self, tmp_path):
-        cache = tmp_path / "counts.pkl"
-        h1 = ExperimentHarness(cache, n_cycles=2)
+        cache = tmp_path / "counts.json"
+        h1 = TableHarness(cache, n_cycles=2)
         p1 = h1.profile("threshold", 12)
         assert cache.exists()
 
-        h2 = ExperimentHarness(cache, n_cycles=2)
+        h2 = TableHarness(cache, n_cycles=2)
         p2 = h2.profile("threshold", 12)
         assert p2.total_instructions == pytest.approx(p1.total_instructions)
 
     def test_cached_profile_matches_fresh(self, tmp_path):
-        cache = tmp_path / "counts.pkl"
-        h = ExperimentHarness(cache, n_cycles=3)
+        cache = tmp_path / "counts.json"
+        h = TableHarness(cache, n_cycles=3)
         fresh = h.profile("clip", 12)
-        h2 = ExperimentHarness(cache, n_cycles=3)
+        h2 = TableHarness(cache, n_cycles=3)
         cached = h2.profile("clip", 12)
         assert [s.name for s in cached] == [s.name for s in fresh]
-        assert cached.total_instructions == pytest.approx(fresh.total_instructions)
+        # Ledger reconstruction is the single pricing path: exact, not approx.
+        assert cached.total_instructions == fresh.total_instructions
 
     def test_no_cache_path(self):
-        h = ExperimentHarness(None, n_cycles=1)
+        h = TableHarness(None, n_cycles=1)
         assert h.profile("threshold", 12).total_instructions > 0
 
     def test_sweep_uses_cache(self, tmp_path):
-        h = ExperimentHarness(tmp_path / "c.pkl", n_cycles=1)
+        h = TableHarness(tmp_path / "c.json", n_cycles=1)
         cfg = StudyConfig(name="s", algorithms=("threshold",), sizes=(12,))
         res = h.sweep(cfg)
         assert len(res.points) == 9
+
+    def test_pkl_path_redirects_to_json(self, tmp_path):
+        """A legacy .pkl cache path transparently becomes its .json sibling."""
+        h = TableHarness(tmp_path / "counts.pkl", n_cycles=1)
+        h.profile("threshold", 12)
+        assert h.cache_path == tmp_path / "counts.json"
+        assert h.cache_path.exists()
+        assert not (tmp_path / "counts.pkl").exists()
+
+    def test_legacy_pickle_cache_migrates_once(self, tmp_path):
+        # Record a ledger the old way: pickle of {(alg, size): counts}.
+        fresh = TableHarness(None, n_cycles=2)
+        expected = fresh.profile("threshold", 12)
+        raw = fresh.engine.profile_cache.get("threshold", 12)
+        legacy = tmp_path / "counts.pkl"
+        legacy.write_bytes(pickle.dumps({("threshold", 12): raw}))
+
+        h = TableHarness(legacy, n_cycles=2)
+        assert (tmp_path / "counts.json").exists()  # one-time migration
+        migrated = h.profile("threshold", 12)
+        assert migrated.total_instructions == expected.total_instructions
+        # The original pickle is left untouched.
+        assert legacy.exists()
+
+    def test_cache_rejects_foreign_json(self, tmp_path):
+        p = tmp_path / "c.json"
+        p.write_text('{"format": "something-else", "entries": {}}')
+        with pytest.raises(ValueError, match="not a profile cache"):
+            ProfileCache(p)
+
+
+class TestDeprecatedShim:
+    def test_experiment_harness_warns_but_works(self, tmp_path):
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            h = ExperimentHarness(tmp_path / "c.json", n_cycles=1)
+        assert isinstance(h, TableHarness)
+        assert h.profile("threshold", 12).total_instructions > 0
 
 
 class TestEmitters:

@@ -1,0 +1,89 @@
+"""The repro.api facade: run, persist, reload, classify."""
+
+import pytest
+
+import repro
+from repro import api
+from repro.core import StudyConfig
+
+SMALL = StudyConfig(name="small", algorithms=("threshold", "contour"), sizes=(12,))
+
+
+class TestRunStudy:
+    def test_explicit_config(self):
+        result = api.run_study(SMALL, n_cycles=2)
+        assert result.config_name == "small"
+        assert len(result.points) == SMALL.n_configurations
+
+    def test_phase_name_respects_max_size(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_SIZE", "12")
+        result = api.run_study("phase1", n_cycles=1)
+        assert result.sizes == [12]
+        assert len(result.points) == 9
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError, match="unknown study phase"):
+            api.run_study("phase9")
+
+    def test_workers_do_not_change_results(self):
+        a = api.run_study(SMALL, n_cycles=2, workers=0)
+        b = api.run_study(SMALL, n_cycles=2, workers=2)
+        assert [p.to_dict() for p in a.points] == [p.to_dict() for p in b.points]
+
+
+class TestRoundTrip:
+    def test_jsonl_roundtrip_preserves_classification(self, tmp_path):
+        result = api.run_study(SMALL, n_cycles=2)
+        path = tmp_path / "small.jsonl"
+        result.to_jsonl(path)
+
+        loaded = api.load_result(path)
+        assert loaded.points == result.points
+
+        before = api.classify_study(result)
+        after = api.classify_study(loaded)
+        assert before == after
+        assert set(before) == {"threshold", "contour"}
+
+    def test_load_result_reads_store_files(self, tmp_path):
+        store = tmp_path / "store.jsonl"
+        result = api.run_study(SMALL, n_cycles=2, store=store)
+        loaded = api.load_result(store)
+        assert sorted(p.key for p in loaded.points) == sorted(p.key for p in result.points)
+        assert {p.key: p for p in loaded.points} == {p.key: p for p in result.points}
+
+    def test_resume_through_facade(self, tmp_path):
+        store = tmp_path / "store.jsonl"
+        api.run_study(SMALL, n_cycles=2, store=store)
+        engine = api.sweep_engine(n_cycles=2, store=store)
+        engine.run(api.resolve_config(SMALL))
+        assert engine.stats.profile_jobs_run == 0
+        assert engine.stats.points_resumed == SMALL.n_configurations
+
+
+class TestClassifyStudy:
+    def test_multi_size_uses_largest(self):
+        cfg = StudyConfig(name="m", algorithms=("threshold",), sizes=(8, 12))
+        result = api.run_study(cfg, n_cycles=1)
+        classes = api.classify_study(result)
+        assert classes["threshold"].size == 12
+
+
+class TestTopLevelExports:
+    def test_facade_reexported_from_package_root(self):
+        assert repro.run_study is api.run_study
+        assert repro.load_result is api.load_result
+        assert repro.classify_study is api.classify_study
+        assert repro.regenerate_tables is api.regenerate_tables
+
+    def test_regenerate_tables(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_SIZE", "12")
+        out = api.regenerate_tables(
+            ("table1",), cache=tmp_path / "c.json", csv_dir=tmp_path / "csv", n_cycles=1
+        )
+        assert set(out) == {"table1"}
+        assert (tmp_path / "csv" / "table1.csv").exists()
+
+    def test_regenerate_unknown_table_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown table"):
+            api.regenerate_tables(("table9",), cache=None)
