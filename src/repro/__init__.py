@@ -10,7 +10,10 @@ The package is layered bottom-up:
 * :mod:`repro.cloverleaf` — hydrodynamics proxy (data source).
 * :mod:`repro.insitu` — tightly-coupled sim+viz and the power-budget runtime.
 * :mod:`repro.core` — the study itself: sweeps, metrics, classification,
-  the parallel/resumable sweep engine and its result store.
+  the parallel/resumable sweep engine, its result store, and the
+  invariant validator behind the quarantine gate.
+* :mod:`repro.faults` — deterministic fault injection (chaos layer) for
+  the machine, engine, and store (``repro chaos`` / ``repro doctor``).
 * :mod:`repro.harness` — per-table/figure experiment drivers.
 * :mod:`repro.api` — the stable facade; start here
   (``repro.run_study`` / ``repro.load_result`` / ``repro.classify_study``).

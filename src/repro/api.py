@@ -1,6 +1,6 @@
 """Stable facade over the study machinery.
 
-Everything a downstream consumer needs, in four calls::
+Everything a downstream consumer needs, in a handful of calls::
 
     import repro
 
@@ -8,6 +8,10 @@ Everything a downstream consumer needs, in four calls::
     repro.api.regenerate_tables(csv_dir="results/")
     later = repro.load_result("sweep.jsonl")
     classes = repro.classify_study(later)
+
+    report = repro.api.doctor("sweep.jsonl")          # invariant audit
+    chaos = repro.api.run_chaos("phase1", plan="default",
+                                store="chaos.jsonl")  # fault-injection drill
 
 The facade hides the moving parts — :class:`~repro.core.engine.SweepEngine`,
 :class:`~repro.core.store.ResultStore`,
@@ -36,6 +40,9 @@ from .core.study import (
     phase2_config,
     phase3_config,
 )
+from .core.validate import ValidationReport, validate_store
+from .faults import PLANS, ChaosReport, FaultPlan, get_plan
+from .faults import run_chaos as _run_chaos
 from .harness.experiments import DEFAULT_CACHE_PATH, TableHarness, effective_sizes
 
 __all__ = [
@@ -46,6 +53,10 @@ __all__ = [
     "resolve_config",
     "sweep_engine",
     "harness",
+    "run_chaos",
+    "doctor",
+    "PLANS",
+    "get_plan",
 ]
 
 #: Phase names accepted by :func:`resolve_config` / :func:`run_study`.
@@ -138,6 +149,55 @@ def run_study(
         progress=progress,
     )
     return engine.run(resolve_config(config), resume=resume)
+
+
+def run_chaos(
+    config: StudyConfig | str = "phase1",
+    *,
+    plan: FaultPlan | str = "default",
+    store: str | Path,
+    workers: int | None = 0,
+    n_cycles: int = DEFAULT_VIZ_CYCLES,
+    seed: int = 7,
+    chaos_seed: int | None = None,
+    spec=None,
+    progress=None,
+) -> ChaosReport:
+    """Run a sweep under a named (or explicit) fault plan; report survival.
+
+    The contract checked: every point surviving into the store is
+    bitwise identical to a fault-free run, unrecoverable points land in
+    the quarantine sidecar with reasons, and a torn store tail is
+    recovered on resume.  ``chaos_seed`` re-seeds the plan for a
+    different (still deterministic) fault schedule.
+    """
+    resolved_plan = get_plan(plan) if isinstance(plan, str) else plan
+    if chaos_seed is not None:
+        resolved_plan = resolved_plan.with_seed(chaos_seed)
+    return _run_chaos(
+        resolve_config(config),
+        resolved_plan,
+        store=store,
+        workers=workers,
+        n_cycles=n_cycles,
+        seed=seed,
+        spec=spec,
+        progress=progress,
+    )
+
+
+def doctor(
+    path: str | Path,
+    *,
+    spec=None,
+    quarantine: bool = False,
+) -> ValidationReport:
+    """Validate an existing store file against the physical invariants.
+
+    With ``quarantine=True`` violating points are moved to the store's
+    ``*.quarantine.jsonl`` sidecar so the main file validates clean.
+    """
+    return validate_store(path, spec, quarantine=quarantine)
 
 
 def load_result(path: str | Path) -> StudyResult:

@@ -7,12 +7,19 @@
     python -m repro classify            # class + recommended cap per algorithm
     python -m repro all --csv results/  # everything, with CSV artifacts
     python -m repro sweep phase3 --workers 8 --store sweep.jsonl
+    python -m repro chaos phase1 --plan default --workers 4
+    python -m repro doctor .cache/sweep-phase1.jsonl
 
 ``sweep`` runs a phase grid through the parallel engine with a
 resumable result store: kill it mid-run and re-invoke with the same
 ``--store`` and it completes only the missing points.  ``--max-size``
 caps dataset sizes (like REPRO_MAX_SIZE); ``--cycles`` overrides the
 per-measurement visualization cycle count.
+
+``chaos`` re-runs a sweep under a named fault plan (worker crashes,
+sensor dropout, a torn store tail, ...) and reports survival; ``doctor``
+audits an existing store against the physical invariants and can
+quarantine violators.  See docs/robustness.md.
 """
 
 from __future__ import annotations
@@ -137,6 +144,18 @@ def _sweep_progress(event: dict) -> None:
         print(f"  [resume] {event['algorithm']}@{event['size']}^3 already complete", flush=True)
     elif kind == "serial-fallback":
         print(f"  [warn] process pool failed ({event['reason']}); continuing serially", flush=True)
+    elif kind == "point-quarantined":
+        print(
+            f"  [quarantine] {event['algorithm']}@{event['size']}^3 {event['cap_w']:g}W "
+            f"({', '.join(event['reasons'])})",
+            flush=True,
+        )
+    elif kind == "interrupted":
+        print(
+            f"  [interrupt] stopping; {event['points_saved']} points safe on disk "
+            f"— re-run with the same --store to resume",
+            flush=True,
+        )
 
 
 def cmd_sweep(args) -> None:
@@ -166,6 +185,33 @@ def cmd_sweep(args) -> None:
         f"{s.points_resumed} resumed from store, {s.retries} retries"
         + (", serial fallback" if s.fell_back_serial else "")
     )
+
+
+def cmd_chaos(args) -> int:
+    config = api.resolve_config(args.phase)
+    store = args.store or str(Path(".cache") / f"chaos-{config.name}.jsonl")
+    plan = api.get_plan(args.plan)
+    print(
+        f"chaos {config.name}: plan '{plan.name}' "
+        f"(seed {args.seed if args.seed is not None else plan.seed}), store={store}"
+    )
+    report = api.run_chaos(
+        config,
+        plan=plan,
+        store=store,
+        workers=args.workers,
+        n_cycles=args.cycles,
+        chaos_seed=args.seed,
+        progress=_sweep_progress if args.verbose else None,
+    )
+    print(report.render())
+    return 0 if report.survived else 1
+
+
+def cmd_doctor(args) -> int:
+    report = api.doctor(args.store, quarantine=args.quarantine)
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 _COMMANDS = {
@@ -223,15 +269,54 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="result store path (default: .cache/sweep-<phase>.jsonl)")
     sweep.add_argument("--resume", default=True, action=argparse.BooleanOptionalAction,
                        help="resume from points already in the store (--no-resume wipes it)")
+
+    chaos = sub.add_parser(
+        "chaos",
+        parents=[common],
+        help="run a sweep under a named fault plan and report survival",
+        description="Fault-injection drill: run the grid with seeded worker "
+        "crashes/hangs, sensor corruption, and store damage live, then "
+        "verify every surviving point is bitwise identical to a fault-free "
+        "run. Exits non-zero if the robustness contract is broken.",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    chaos.add_argument("phase", nargs="?", default="phase1", choices=list(api.PHASE_NAMES),
+                       help="which factor grid to sweep (default: phase1)")
+    chaos.add_argument("--plan", default="default", choices=sorted(api.PLANS),
+                       help="named fault plan (default: 'default')")
+    chaos.add_argument("--seed", type=int, default=None, metavar="N",
+                       help="re-seed the fault schedule (default: the plan's seed)")
+    chaos.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="profile-job process count (default: CPU count; 0/1 = serial)")
+    chaos.add_argument("--store", default=None, metavar="PATH",
+                       help="result store path (default: .cache/chaos-<phase>.jsonl)")
+    chaos.add_argument("--verbose", action="store_true",
+                       help="stream per-point engine events")
+
+    doctor = sub.add_parser(
+        "doctor",
+        help="validate an existing store against the physical invariants",
+        description="Audit a sweep store: power <= cap + tolerance, runtime "
+        "monotone as caps drop, rates finite and within machine bins. "
+        "Exits non-zero if any point violates an invariant.",
+    )
+    doctor.add_argument("store", help="store file to audit (sweep --store output)")
+    doctor.add_argument("--quarantine", action="store_true",
+                        help="move violating points to the *.quarantine.jsonl sidecar")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
-    if args.max_size is not None:
+    if getattr(args, "max_size", None) is not None:
         os.environ["REPRO_MAX_SIZE"] = str(args.max_size)
 
+    if args.command == "doctor":
+        return cmd_doctor(args)
+    if args.command == "chaos":
+        return cmd_chaos(args)
     if args.command == "sweep":
         cmd_sweep(args)
         return 0

@@ -16,6 +16,7 @@ from .report import (
 )
 from .runner import DEFAULT_VIZ_CYCLES, RunPoint, StudyResult, StudyRunner, make_run_point
 from .store import ResultStore, StoreMismatchError, sweep_fingerprint
+from .validate import PointValidator, ValidationReport, Violation, validate_store
 from .study import (
     ALGORITHM_NAMES,
     DATASET_SIZES,
@@ -51,6 +52,10 @@ __all__ = [
     "ResultStore",
     "StoreMismatchError",
     "sweep_fingerprint",
+    "PointValidator",
+    "ValidationReport",
+    "Violation",
+    "validate_store",
     "ProfileCache",
     "profile_from_ledger",
     "run_algorithm_ledger",

@@ -23,6 +23,17 @@ ledger through :func:`~repro.core.profiles.profile_from_ledger`, so the
 engine's points are bitwise identical to the serial
 :class:`~repro.core.runner.StudyRunner`'s regardless of worker count,
 completion order, or how many times the sweep was interrupted.
+
+Two robustness layers guard the pipeline:
+
+* every completed point passes the invariant gate
+  (:mod:`repro.core.validate`) before it reaches the store — violating
+  points are quarantined to the store's sidecar with reasons, counted
+  in :class:`EngineStats`, and excluded from the result instead of
+  aborting the sweep;
+* a ``faults`` plan (:mod:`repro.faults`) injects deterministic worker
+  crashes, hangs, and sensor corruption, exercising the retry/timeout/
+  fallback/quarantine paths for real (``repro chaos``).
 """
 
 from __future__ import annotations
@@ -40,6 +51,7 @@ from .profiles import ProfileCache, profile_from_ledger, run_algorithm_ledger
 from .runner import DEFAULT_VIZ_CYCLES, StudyResult, make_run_point
 from .store import ResultStore, sweep_fingerprint
 from .study import StudyConfig
+from .validate import PointValidator
 
 __all__ = ["ProfileJob", "EngineStats", "SweepError", "SweepEngine", "execute_profile_job"]
 
@@ -78,8 +90,11 @@ class EngineStats:
     groups_skipped: int = 0
     points_computed: int = 0
     points_resumed: int = 0
+    points_quarantined: int = 0
     retries: int = 0
+    faults_injected: int = 0
     fell_back_serial: bool = False
+    interrupted: bool = False
     wall_s: float = 0.0
 
     @property
@@ -120,9 +135,20 @@ class SweepEngine:
     profile_fn:
         Override for the profile-job body — used to inject faults in
         tests; must be picklable to run in pool mode.
+    faults:
+        Optional :class:`repro.faults.FaultPlan` (duck-typed: anything
+        with ``wrap_job``/``corrupt_point``).  Wraps every job attempt
+        with the plan's engine-layer faults and passes completed points
+        through its sensor-corruption site — chaos testing against the
+        real retry and quarantine machinery.
+    validate:
+        Gate every computed point through the invariant checks of
+        :class:`~repro.core.validate.PointValidator` before it reaches
+        the store; violators are quarantined, not fatal (default on).
     progress:
         Callable receiving event dicts (``kind`` ∈ ``profile-done``,
-        ``group-skipped``, ``serial-fallback``, ``summary``).
+        ``group-skipped``, ``serial-fallback``, ``point-quarantined``,
+        ``interrupted``, ``summary``).
     """
 
     def __init__(
@@ -140,6 +166,8 @@ class SweepEngine:
         store: ResultStore | str | os.PathLike | None = None,
         profile_cache: ProfileCache | None = None,
         profile_fn=None,
+        faults=None,
+        validate: bool = True,
         progress=None,
     ):
         if n_cycles < 1:
@@ -159,6 +187,8 @@ class SweepEngine:
         self.store = ResultStore(store) if store is not None and not isinstance(store, ResultStore) else store
         self.profile_cache = profile_cache if profile_cache is not None else ProfileCache(None)
         self._profile_fn = profile_fn or execute_profile_job
+        self.faults = faults
+        self.validator = PointValidator(self.spec) if validate else None
         self._progress = progress
         self.stats = EngineStats()
 
@@ -229,18 +259,45 @@ class SweepEngine:
                 self._emit("group-skipped", algorithm=alg, size=size)
 
         def price_group(alg: str, size: int) -> None:
-            """Reprice every missing cap of a group and stream it to the store."""
+            """Reprice every missing cap of a group, gate each point
+            through the invariant checks, and stream survivors to the
+            store (violators go to the quarantine sidecar)."""
             profile = profile_from_ledger(
                 alg, size, self.profile_cache.get(alg, size), n_cycles=self.n_cycles
             )
             base = self.processor.run(profile, default_cap)
+            fresh: list = []
             for cap in caps:
-                key = (alg, size, cap)
-                if key in results:
+                if (alg, size, cap) in results:
                     continue
                 run = base if cap == default_cap else self.processor.run(profile, cap)
                 point = make_run_point(alg, size, cap, run, base, default_cap)
-                results[key] = point
+                if self.faults is not None:
+                    point = self.faults.corrupt_point(point)
+                fresh.append(point)
+
+            bad: dict = {}
+            if self.validator is not None and fresh:
+                resumed = [results[(alg, size, c)] for c in caps if (alg, size, c) in results]
+                bad = self.validator.check_group(resumed + fresh)
+            for point in fresh:
+                reasons = bad.get(point.key)
+                if reasons:
+                    # A violating point never reaches the main store: it
+                    # lands in the sidecar with machine-readable reasons
+                    # and the sweep keeps going.
+                    self.stats.points_quarantined += 1
+                    if self.store is not None:
+                        self.store.quarantine(point, reasons)
+                    self._emit(
+                        "point-quarantined",
+                        algorithm=alg,
+                        size=size,
+                        cap_w=point.cap_w,
+                        reasons=[r.code for r in reasons],
+                    )
+                    continue
+                results[point.key] = point
                 self.stats.points_computed += 1
                 if self.store is not None:
                     self.store.append(point)
@@ -248,17 +305,38 @@ class SweepEngine:
         # Ledger-cached groups are priced immediately; the rest become
         # profile jobs, each group priced the moment its job completes —
         # an interrupted sweep keeps every finished group's points.
-        jobs: list[ProfileJob] = []
-        for alg, size in todo:
-            if self.profile_cache.get(alg, size) is None:
-                jobs.append(ProfileJob(alg, size, self.dataset_kind, self.seed))
-            else:
-                self.stats.profile_jobs_cached += 1
-                price_group(alg, size)
-        self._execute_jobs(jobs, on_done=price_group)
+        try:
+            jobs: list[ProfileJob] = []
+            for alg, size in todo:
+                if self.profile_cache.get(alg, size) is None:
+                    jobs.append(ProfileJob(alg, size, self.dataset_kind, self.seed))
+                else:
+                    self.stats.profile_jobs_cached += 1
+                    price_group(alg, size)
+            self._execute_jobs(jobs, on_done=price_group)
+        except KeyboardInterrupt:
+            # Graceful interrupt: everything priced so far is already on
+            # disk (appends fsync per point); force full durability and
+            # hand control back so `--resume` picks up exactly here.
+            self.stats.interrupted = True
+            self.stats.wall_s = time.perf_counter() - t0
+            if self.store is not None:
+                self.store.sync()
+            self._emit(
+                "interrupted",
+                points_saved=len(self.store) if self.store is not None else len(results),
+                computed=self.stats.points_computed,
+            )
+            raise
 
+        # Quarantined cells are absent by design: the result carries the
+        # surviving points only.
         ordered = [
-            results[(a, s, c)] for a in config.algorithms for s in config.sizes for c in caps
+            results[(a, s, c)]
+            for a in config.algorithms
+            for s in config.sizes
+            for c in caps
+            if (a, s, c) in results
         ]
         self.stats.wall_s = time.perf_counter() - t0
         self._emit(
@@ -267,9 +345,11 @@ class SweepEngine:
             points=len(ordered),
             computed=self.stats.points_computed,
             resumed=self.stats.points_resumed,
+            quarantined=self.stats.points_quarantined,
             jobs_run=self.stats.profile_jobs_run,
             jobs_cached=self.stats.profile_jobs_cached,
             retries=self.stats.retries,
+            faults_injected=self.stats.faults_injected,
             wall_s=self.stats.wall_s,
             throughput_pts_s=self.stats.throughput_pts_s,
         )
@@ -308,6 +388,13 @@ class SweepEngine:
         if on_done is not None:
             on_done(job.algorithm, job.size)
 
+    def _job_body(self, job: ProfileJob, attempt: int):
+        """The callable actually executed for one job attempt —
+        the profile fn, wrapped with the fault plan when one is set."""
+        if self.faults is None:
+            return self._profile_fn
+        return self.faults.wrap_job(self._profile_fn, attempt)
+
     def _run_serial(self, jobs: list[ProfileJob], on_done=None) -> None:
         total = len(jobs)
         for i, job in enumerate(jobs, start=1):
@@ -315,9 +402,11 @@ class SweepEngine:
             attempt = 0
             while True:
                 try:
-                    ledger = self._profile_fn(job)
+                    ledger = self._job_body(job, attempt)(job)
                     break
                 except Exception as exc:
+                    if getattr(exc, "injected", False):
+                        self.stats.faults_injected += 1
                     attempt += 1
                     if attempt > self.max_retries:
                         raise SweepError(
@@ -333,63 +422,77 @@ class SweepEngine:
         pending: deque[ProfileJob] = deque(jobs)
         attempts: dict[ProfileJob, int] = {}
         total = len(jobs)
-        completed = 0
+        in_flight: dict = {}
         try:
             with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                in_flight: dict = {}
-                while pending or in_flight:
-                    while pending and len(in_flight) < window:
-                        job = pending.popleft()
-                        fut = pool.submit(self._profile_fn, job)
-                        deadline = (
-                            time.monotonic() + self.timeout_s if self.timeout_s else None
-                        )
-                        in_flight[fut] = (job, time.perf_counter(), deadline)
-                    tick = None
-                    if self.timeout_s:
-                        deadlines = [d for (_, _, d) in in_flight.values() if d]
-                        if deadlines:
-                            tick = max(0.0, min(deadlines) - time.monotonic()) + 0.01
-                    finished, _ = wait(set(in_flight), timeout=tick, return_when=FIRST_COMPLETED)
-                    now = time.monotonic()
-                    if not finished:
-                        for fut in [
-                            f for f, (_, _, d) in in_flight.items() if d and now >= d
-                        ]:
-                            job, _, _ = in_flight.pop(fut)
-                            fut.cancel()
-                            self._retry_or_raise(
-                                job, TimeoutError(f"exceeded {self.timeout_s}s"), attempts, pending
-                            )
-                        continue
-                    for fut in finished:
-                        job, t0, _ = in_flight.pop(fut)
-                        try:
-                            ledger = fut.result()
-                        except BrokenExecutor as exc:
-                            raise _PoolFailure("process pool broke") from exc
-                        except Exception as exc:
-                            # Serialization failures (PicklingError, or the
-                            # AttributeError/TypeError CPython raises for
-                            # local objects) mean the pool can never run
-                            # this work — degrade rather than retry.
-                            if isinstance(exc, pickle.PicklingError) or (
-                                isinstance(exc, (AttributeError, TypeError))
-                                and "pickle" in str(exc).lower()
-                            ):
-                                raise _PoolFailure("job not picklable") from exc
-                            self._retry_or_raise(job, exc, attempts, pending)
-                        else:
-                            completed += 1
-                            self._record(
-                                job, ledger, completed, total, time.perf_counter() - t0, on_done
-                            )
+                try:
+                    self._pool_loop(pool, pending, attempts, in_flight, window, total, on_done)
+                except KeyboardInterrupt:
+                    # Graceful interrupt: stop feeding the pool, cancel
+                    # whatever has not started, and get out fast — the
+                    # caller fsyncs the store and re-raises.
+                    for fut in in_flight:
+                        fut.cancel()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise
         except _PoolFailure:
             raise
         except (BrokenExecutor, OSError) as exc:
             raise _PoolFailure("process pool unavailable") from exc
 
+    def _pool_loop(self, pool, pending, attempts, in_flight, window, total, on_done) -> None:
+        completed = 0
+        while pending or in_flight:
+            while pending and len(in_flight) < window:
+                job = pending.popleft()
+                fut = pool.submit(self._job_body(job, attempts.get(job, 0)), job)
+                deadline = (
+                    time.monotonic() + self.timeout_s if self.timeout_s else None
+                )
+                in_flight[fut] = (job, time.perf_counter(), deadline)
+            tick = None
+            if self.timeout_s:
+                deadlines = [d for (_, _, d) in in_flight.values() if d]
+                if deadlines:
+                    tick = max(0.0, min(deadlines) - time.monotonic()) + 0.01
+            finished, _ = wait(set(in_flight), timeout=tick, return_when=FIRST_COMPLETED)
+            now = time.monotonic()
+            if not finished:
+                for fut in [
+                    f for f, (_, _, d) in in_flight.items() if d and now >= d
+                ]:
+                    job, _, _ = in_flight.pop(fut)
+                    fut.cancel()
+                    self._retry_or_raise(
+                        job, TimeoutError(f"exceeded {self.timeout_s}s"), attempts, pending
+                    )
+                continue
+            for fut in finished:
+                job, t0, _ = in_flight.pop(fut)
+                try:
+                    ledger = fut.result()
+                except BrokenExecutor as exc:
+                    raise _PoolFailure("process pool broke") from exc
+                except Exception as exc:
+                    # Serialization failures (PicklingError, or the
+                    # AttributeError/TypeError CPython raises for
+                    # local objects) mean the pool can never run
+                    # this work — degrade rather than retry.
+                    if isinstance(exc, pickle.PicklingError) or (
+                        isinstance(exc, (AttributeError, TypeError))
+                        and "pickle" in str(exc).lower()
+                    ):
+                        raise _PoolFailure("job not picklable") from exc
+                    self._retry_or_raise(job, exc, attempts, pending)
+                else:
+                    completed += 1
+                    self._record(
+                        job, ledger, completed, total, time.perf_counter() - t0, on_done
+                    )
+
     def _retry_or_raise(self, job, exc, attempts, pending) -> None:
+        if getattr(exc, "injected", False):
+            self.stats.faults_injected += 1
         attempts[job] = attempts.get(job, 0) + 1
         if attempts[job] > self.max_retries:
             raise SweepError(

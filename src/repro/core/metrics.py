@@ -13,6 +13,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 __all__ = ["Ratios", "element_rate", "energy_delay_product", "first_slowdown_cap", "SLOWDOWN_THRESHOLD"]
@@ -40,6 +41,18 @@ class Ratios:
         freq_default_ghz: float,
         freq_ghz: float,
     ) -> "Ratios":
+        measurements = {
+            "cap_default_w": cap_default_w,
+            "cap_w": cap_w,
+            "time_default_s": time_default_s,
+            "time_s": time_s,
+            "freq_default_ghz": freq_default_ghz,
+            "freq_ghz": freq_ghz,
+        }
+        # NaN slips past a <= 0 comparison, so check finiteness first.
+        bad = [k for k, v in measurements.items() if not math.isfinite(v)]
+        if bad:
+            raise ValueError(f"measurements must be finite, got non-finite {', '.join(bad)}")
         if min(cap_w, time_default_s, freq_ghz) <= 0:
             raise ValueError("measurements must be positive")
         return cls(

@@ -18,6 +18,11 @@ rather than silently mixing incomparable measurements.
 Appends are flushed per point and a torn final line (a run killed
 mid-write) is detected and truncated on the next open, so an interrupted
 sweep resumes from exactly the points that made it to disk.
+
+Points that fail the invariant guardrails (:mod:`repro.core.validate`)
+never enter the main store: :meth:`ResultStore.quarantine` appends them
+to a ``*.quarantine.jsonl`` sidecar alongside machine-readable reasons,
+keeping the main file clean enough to trust blindly.
 """
 
 from __future__ import annotations
@@ -130,6 +135,74 @@ class ResultStore:
             fh.write(point.to_jsonl() + "\n")
             fh.flush()
             os.fsync(fh.fileno())
+
+    def sync(self) -> None:
+        """Force file (and directory) durability — e.g. on interrupt.
+
+        Appends already fsync per record; this additionally syncs the
+        directory entry so a freshly-created store survives a crash of
+        the whole machine, not just the process.
+        """
+        for target in (self.path, self.path.parent):
+            try:
+                fd = os.open(target, os.O_RDONLY)
+            except OSError:
+                continue
+            try:
+                os.fsync(fd)
+            except OSError:
+                pass  # some filesystems refuse directory fsync
+            finally:
+                os.close(fd)
+
+    def remove(self, keys) -> int:
+        """Drop points from the store (rewrites the file); returns count."""
+        dropped = 0
+        for key in list(keys):
+            if self._points.pop(key, None) is not None:
+                dropped += 1
+        if dropped:
+            self._write_header()
+        return dropped
+
+    # ----------------------------------------------------------- quarantine
+    @property
+    def quarantine_path(self) -> Path:
+        """Sidecar file holding points that failed validation."""
+        return self.path.with_suffix(".quarantine.jsonl")
+
+    def quarantine(self, point: RunPoint, reasons) -> None:
+        """Append a rejected point (with reasons) to the sidecar.
+
+        ``reasons`` is an iterable of objects with ``code``/``message``
+        attributes (:class:`repro.core.validate.Violation`) or plain
+        dicts.  The sidecar is append-only and fsynced like the main
+        store, so quarantined evidence survives a crash too.
+        """
+        record = {
+            "point": point.to_dict(),
+            "reasons": [
+                r if isinstance(r, dict) else {"code": r.code, "message": r.message}
+                for r in reasons
+            ],
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.quarantine_path, "a") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def quarantined(self) -> list[tuple[RunPoint, list[dict]]]:
+        """All sidecar records as (point, reasons) pairs."""
+        if not self.quarantine_path.exists():
+            return []
+        out = []
+        for line in self.quarantine_path.read_text().splitlines():
+            if not line.strip():
+                continue
+            rec = json.loads(line)
+            out.append((RunPoint.from_dict(rec["point"]), list(rec["reasons"])))
+        return out
 
     def __contains__(self, key: tuple[str, int, float]) -> bool:
         return key in self._points

@@ -1,0 +1,213 @@
+"""Seedable, deterministic fault plans.
+
+A :class:`FaultPlan` describes *which* faults to inject and *how often*,
+at three layers of the stack:
+
+* **machine** — RAPL cap-enforcement jitter, transient cap-not-met
+  excursions, 100 ms power-sample dropout and noise (consumed by
+  :class:`repro.faults.machine.MachineFaultInjector`);
+* **engine** — worker crashes, hang-past-timeout, flaky transient
+  errors (consumed by :meth:`FaultPlan.wrap_job`, which the
+  :class:`~repro.core.engine.SweepEngine` calls per job attempt);
+* **measurement/store** — sensor-corrupted points that the validation
+  gate must quarantine (:meth:`FaultPlan.corrupt_point`) and a torn
+  store tail (consumed by :mod:`repro.faults.storefx` / the chaos
+  driver).
+
+Every decision is a pure function of ``(seed, site, key)`` — a SHA-256
+draw, no global RNG state — so a fault schedule is reproducible across
+processes, worker pools, and resumed sweeps: the retry of a crashed job
+sees the *same* plan but a different attempt key, which is what lets a
+bounded-fault plan guarantee eventual completion.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import time
+from dataclasses import dataclass, replace
+
+__all__ = ["FaultPlan", "InjectedFault", "PLANS", "get_plan"]
+
+
+class InjectedFault(RuntimeError):
+    """A deliberately injected failure (never a real defect)."""
+
+    #: Marker the engine uses to count injected faults without
+    #: importing this module (keeps ``repro.core`` below ``repro.faults``).
+    injected = True
+
+
+def _unit(seed: int, site: str, key: str, lane: int = 0) -> float:
+    """Deterministic uniform draw in [0, 1) for one (site, key) decision."""
+    digest = hashlib.sha256(f"{seed}|{site}|{key}|{lane}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to break, how hard, and under which seed.
+
+    All probabilities are per-decision (per job attempt, per sample,
+    per control window, per point); zero disables the site entirely, so
+    the default-constructed plan is a no-op.
+    """
+
+    name: str = "custom"
+    seed: int = 0
+
+    # ------------------------------------------------------- machine layer
+    cap_jitter_w: float = 0.0      # sigma (W) of per-decision cap-enforcement jitter
+    cap_excursion_p: float = 0.0   # P(transient cap-not-met excursion per decision)
+    sample_dropout_p: float = 0.0  # P(a 100 ms power sample is lost)
+    sample_noise_w: float = 0.0    # sigma (W) of noise spikes on delivered samples
+
+    # -------------------------------------------------------- engine layer
+    worker_crash_p: float = 0.0    # P(injected crash per job attempt)
+    worker_hang_p: float = 0.0     # P(injected hang per job attempt)
+    hang_s: float = 0.5            # how long a hung worker stalls
+    max_faults_per_job: int = 1    # attempts that may fault; later retries run clean
+
+    # ------------------------------------------------- measurement / store
+    point_corrupt_p: float = 0.0   # P(a completed point is sensor-corrupted)
+    torn_tail: bool = False        # tear the store's final record once (chaos driver)
+
+    def __post_init__(self) -> None:
+        for f in ("cap_excursion_p", "sample_dropout_p", "worker_crash_p",
+                  "worker_hang_p", "point_corrupt_p"):
+            p = getattr(self, f)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{f} must be a probability in [0, 1], got {p}")
+        if self.max_faults_per_job < 0:
+            raise ValueError("max_faults_per_job must be non-negative")
+
+    # ----------------------------------------------------------- decisions
+    def decide(self, site: str, key: str, p: float) -> bool:
+        """Deterministic Bernoulli(p) draw for one (site, key)."""
+        return p > 0.0 and _unit(self.seed, site, key) < p
+
+    def gauss(self, site: str, key: str, sigma: float) -> float:
+        """Deterministic N(0, sigma) draw (Box–Muller from two hash lanes)."""
+        if sigma <= 0.0:
+            return 0.0
+        u1 = max(_unit(self.seed, site, key, lane=1), 1e-15)
+        u2 = _unit(self.seed, site, key, lane=2)
+        return sigma * math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """The same plan under a different seed (a different schedule)."""
+        return replace(self, seed=int(seed))
+
+    # -------------------------------------------------------- engine hooks
+    def wrap_job(self, base, attempt: int):
+        """Wrap a profile-job body with this plan's engine-layer faults.
+
+        The wrapper is picklable (so it survives the trip into a pool
+        worker) as long as ``base`` is.
+        """
+        return _FaultedJob(plan=self, base=base, attempt=int(attempt))
+
+    def corrupt_point(self, point):
+        """Return ``point``, possibly sensor-corrupted under this plan.
+
+        Corruption modes rotate deterministically per point: an
+        impossible power spike, a runtime collapse that breaks cap
+        monotonicity, or a dead (NaN) IPC counter — each one a
+        violation :mod:`repro.core.validate` must catch.
+        """
+        key = f"{point.algorithm}@{point.size}@{point.cap_w:g}"
+        if not self.decide("point-corrupt", key, self.point_corrupt_p):
+            return point
+        d = point.to_dict()
+        mode = int(_unit(self.seed, "point-corrupt-mode", key) * 3)
+        if mode == 0:
+            d["power_w"] = d["cap_w"] * 4.0
+        elif mode == 1:
+            d["time_s"] = d["time_s"] * 1e-3
+        else:
+            d["ipc"] = float("nan")
+        return type(point).from_dict(d)
+
+
+@dataclass(frozen=True)
+class _FaultedJob:
+    """Picklable profile-job wrapper carrying the plan into pool workers."""
+
+    plan: FaultPlan
+    base: object
+    attempt: int
+
+    def __call__(self, job):
+        p = self.plan
+        key = f"{job.algorithm}@{job.size}#{self.attempt}"
+        if self.attempt < p.max_faults_per_job:
+            if p.decide("worker-hang", key, p.worker_hang_p):
+                # A hang, not an error: stall past the engine's timeout,
+                # then finish normally — the abandoned future's result
+                # must be discarded, exactly like a live-locked worker.
+                time.sleep(p.hang_s)
+            if p.decide("worker-crash", key, p.worker_crash_p):
+                raise InjectedFault(
+                    f"injected worker crash in {job.algorithm}@{job.size} "
+                    f"(attempt {self.attempt})"
+                )
+        return self.base(job)
+
+
+#: Named plans for the ``repro chaos`` CLI.  The ``default`` plan is the
+#: acceptance scenario: worker crashes + sample dropout + one torn store
+#: tail, all recoverable (``max_faults_per_job=1`` bounds crashes per
+#: job, so a retry budget ≥ 1 always completes the sweep).
+PLANS: dict[str, FaultPlan] = {
+    p.name: p
+    for p in (
+        FaultPlan(
+            name="default",
+            seed=2019,
+            worker_crash_p=0.35,
+            cap_jitter_w=0.8,
+            cap_excursion_p=0.02,
+            sample_dropout_p=0.12,
+            sample_noise_w=1.5,
+            torn_tail=True,
+        ),
+        FaultPlan(
+            name="engine",
+            seed=11,
+            worker_crash_p=0.5,
+            worker_hang_p=0.25,
+            hang_s=0.4,
+        ),
+        FaultPlan(
+            name="machine",
+            seed=23,
+            cap_jitter_w=2.0,
+            cap_excursion_p=0.05,
+            sample_dropout_p=0.25,
+            sample_noise_w=3.0,
+        ),
+        FaultPlan(name="store", seed=37, torn_tail=True),
+        FaultPlan(
+            name="hostile",
+            seed=41,
+            worker_crash_p=0.5,
+            cap_jitter_w=1.5,
+            cap_excursion_p=0.05,
+            sample_dropout_p=0.2,
+            sample_noise_w=2.5,
+            point_corrupt_p=0.3,
+            torn_tail=True,
+        ),
+    )
+}
+
+
+def get_plan(name: str) -> FaultPlan:
+    """Look up a named plan (``repro chaos --plan NAME``)."""
+    try:
+        return PLANS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault plan {name!r}; expected one of {sorted(PLANS)}"
+        ) from None

@@ -16,6 +16,7 @@ This module reproduces that policy against the simulated power model:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from .exec_model import SegmentEval
@@ -42,12 +43,26 @@ class OperatingPoint:
 class RaplController:
     """Chooses frequency (and duty) to hold a power cap."""
 
-    def __init__(self, spec: MachineSpec, power_model: PowerModel | None = None):
+    def __init__(
+        self,
+        spec: MachineSpec,
+        power_model: PowerModel | None = None,
+        fault_hook: object | None = None,
+    ):
         self.spec = spec
         self.power_model = power_model or PowerModel(spec)
+        #: Optional fault injector (``repro.faults``): consulted once per
+        #: operating-point decision for enforcement jitter and transient
+        #: cap-not-met excursions.  None = clean enforcement.
+        self.fault_hook = fault_hook
 
     def validate_cap(self, cap_watts: float) -> float:
         """Clamp a requested cap into the socket's programmable range."""
+        # NaN compares False against everything, so the <= 0 guard alone
+        # would let NaN (and inf) flow into min/max and silently poison
+        # every downstream measurement.
+        if not math.isfinite(cap_watts):
+            raise ValueError(f"power cap must be finite, got {cap_watts}")
         if cap_watts <= 0:
             raise ValueError(f"power cap must be positive, got {cap_watts}")
         return float(min(max(cap_watts, self.spec.rapl_floor_watts), self.spec.tdp_watts))
@@ -62,6 +77,18 @@ class RaplController:
         """
         cap = self.validate_cap(cap_watts)
         bins = self.spec.freq_bins
+        hook = self.fault_hook
+        if hook is not None:
+            # Enforcement jitter: hardware tracks a running average, so
+            # the cap it actually holds wobbles around the programmed one.
+            cap = max(1.0, cap + hook.cap_jitter_w())
+            if hook.excursion():
+                # Transient enforcement lapse: the controller grants full
+                # frequency for this decision regardless of the cap, and
+                # honestly reports whether the cap was met.
+                f = float(bins[-1])
+                p = self.power_model.power(ev, f) + power_offset_w
+                return OperatingPoint(f, 1.0, p - power_offset_w, p <= cap)
         # Scan from the top: RAPL grants as much frequency as fits.
         for f in bins[::-1]:
             p = self.power_model.power(ev, float(f)) + power_offset_w

@@ -127,6 +127,11 @@ class Processor:
         self.exec_model = ExecutionModel(spec)
         self.power_model = PowerModel(spec)
         self.rapl = RaplController(spec, self.power_model)
+        #: Optional fault injector (``repro.faults``): each traced-mode
+        #: power sample passes through ``fault_hook.filter_sample``,
+        #: which may distort (noise spike) or drop (sensor dropout) it.
+        #: None = every sample is delivered intact.
+        self.fault_hook = None
 
     # ----------------------------------------------------------- closed form
     def run(self, profile: WorkProfile, cap_watts: float | None = None) -> RunResult:
@@ -211,6 +216,12 @@ class Processor:
         last_snap = msr.snapshot()
         last_sample_t = 0.0
 
+        def emit_sample(s: PowerSample) -> None:
+            if self.fault_hook is not None:
+                s = self.fault_hook.filter_sample(s)
+            if s is not None:
+                samples.append(s)
+
         for seg in profile:
             ev = self.exec_model.evaluate(seg)
             remaining = 1.0
@@ -242,9 +253,7 @@ class Processor:
                 t_now += dt
 
                 if t_now - last_sample_t >= sample_interval_s:
-                    samples.append(
-                        self._make_sample(last_snap, msr, last_sample_t, t_now)
-                    )
+                    emit_sample(self._make_sample(last_snap, msr, last_sample_t, t_now))
                     last_snap = msr.snapshot()
                     last_sample_t = t_now
 
@@ -266,7 +275,7 @@ class Processor:
                 )
 
         if t_now > last_sample_t:
-            samples.append(self._make_sample(last_snap, msr, last_sample_t, t_now))
+            emit_sample(self._make_sample(last_snap, msr, last_sample_t, t_now))
         return RunResult(profile.name, cap, self.spec, records, msr, samples)
 
     def _make_sample(

@@ -1,0 +1,144 @@
+"""Machine-layer faults: cap jitter, excursions, sample dropout/noise."""
+
+import math
+
+import pytest
+
+from repro.faults import FaultPlan, MachineFaultInjector, clear_machine_faults, inject_machine_faults
+from repro.machine import (
+    BROADWELL_E5_2695V4,
+    ExecutionModel,
+    Processor,
+    RaplController,
+)
+from repro.workload import InstructionMix, WorkProfile, WorkSegment
+
+SPEC = BROADWELL_E5_2695V4
+EXEC = ExecutionModel(SPEC)
+
+
+def hot_segment():
+    return WorkSegment(
+        name="hot",
+        mix=InstructionMix(fp=2e9, simd=2e9),
+        bytes_read=1e6,
+        working_set_bytes=1e6,
+    )
+
+
+def hot_profile():
+    return WorkProfile(name="hot", segments=(hot_segment(),))
+
+
+class TestValidateCap:
+    """Satellite fix: non-finite caps must be rejected, not clamped."""
+
+    def test_nan_cap_rejected(self):
+        rapl = RaplController(SPEC)
+        with pytest.raises(ValueError, match="finite"):
+            rapl.validate_cap(float("nan"))
+
+    @pytest.mark.parametrize("cap", [float("inf"), float("-inf")])
+    def test_infinite_cap_rejected(self, cap):
+        with pytest.raises(ValueError, match="finite"):
+            RaplController(SPEC).validate_cap(cap)
+
+    def test_processor_run_rejects_nan_cap(self):
+        with pytest.raises(ValueError, match="finite"):
+            Processor().run(hot_profile(), float("nan"))
+
+    def test_finite_caps_still_clamp(self):
+        rapl = RaplController(SPEC)
+        assert rapl.validate_cap(1e6) == SPEC.tdp_watts
+        assert rapl.validate_cap(65.0) == 65.0
+
+
+class TestInjectorDeterminism:
+    def test_same_plan_same_fault_trace(self):
+        plan = FaultPlan(seed=9, cap_jitter_w=2.0, cap_excursion_p=0.3)
+        a, b = MachineFaultInjector(plan), MachineFaultInjector(plan)
+        assert [a.cap_jitter_w() for _ in range(50)] == [b.cap_jitter_w() for _ in range(50)]
+        assert [a.excursion() for _ in range(50)] == [b.excursion() for _ in range(50)]
+        assert a.summary() == b.summary()
+
+    def test_different_seed_different_trace(self):
+        mk = lambda s: MachineFaultInjector(FaultPlan(seed=s, cap_jitter_w=2.0))
+        assert [mk(1).cap_jitter_w() for _ in range(20)] != [mk(2).cap_jitter_w() for _ in range(20)]
+
+
+class TestSampleFilter:
+    def _sample(self):
+        processor = Processor()
+        run = processor.run_traced(hot_profile(), 80.0, sample_interval_s=0.1)
+        assert run.samples
+        return run.samples[0]
+
+    def test_dropout_drops_and_counts(self):
+        inj = MachineFaultInjector(FaultPlan(seed=9, sample_dropout_p=1.0))
+        assert inj.filter_sample(self._sample()) is None
+        assert inj.summary()["samples_dropped"] == 1
+
+    def test_noise_perturbs_power_only(self):
+        s = self._sample()
+        inj = MachineFaultInjector(FaultPlan(seed=9, sample_noise_w=3.0))
+        out = inj.filter_sample(s)
+        assert out.power_w != s.power_w
+        assert (out.t_s, out.dt_s, out.f_eff_ghz, out.instructions) == (
+            s.t_s, s.dt_s, s.f_eff_ghz, s.instructions
+        )
+
+    def test_noop_plan_passes_sample_through(self):
+        s = self._sample()
+        inj = MachineFaultInjector(FaultPlan(seed=9))
+        assert inj.filter_sample(s) is s
+
+
+class TestRaplHooks:
+    def test_excursion_grants_full_frequency(self):
+        inj = MachineFaultInjector(FaultPlan(seed=9, cap_excursion_p=1.0))
+        rapl = RaplController(SPEC, fault_hook=inj)
+        op = rapl.operating_point(EXEC.evaluate(hot_segment()), 40.0)
+        assert op.f_ghz == SPEC.f_turbo and op.duty == 1.0
+        assert not op.cap_met  # hot work at full tilt cannot fit 40 W
+        assert inj.excursions == 1
+
+    def test_jitter_wobbles_enforcement(self):
+        inj = MachineFaultInjector(FaultPlan(seed=9, cap_jitter_w=10.0))
+        rapl = RaplController(SPEC, fault_hook=inj)
+        ev = EXEC.evaluate(hot_segment())
+        freqs = {rapl.operating_point(ev, 60.0).f_ghz for _ in range(50)}
+        assert len(freqs) > 1  # the same programmed cap lands on different bins
+        assert inj.decisions == 50
+
+    def test_clean_controller_unaffected(self):
+        ev = EXEC.evaluate(hot_segment())
+        clean = RaplController(SPEC).operating_point(ev, 60.0)
+        hooked = RaplController(
+            SPEC, fault_hook=MachineFaultInjector(FaultPlan(seed=9))
+        ).operating_point(ev, 60.0)
+        assert hooked == clean  # a zeroed plan injects nothing
+
+
+class TestProcessorWiring:
+    def test_inject_and_clear(self):
+        p = Processor()
+        inj = inject_machine_faults(p, FaultPlan(seed=9, sample_dropout_p=0.5))
+        assert p.fault_hook is inj and p.rapl.fault_hook is inj
+        clear_machine_faults(p)
+        assert p.fault_hook is None and p.rapl.fault_hook is None
+
+    def test_traced_run_loses_samples_under_dropout(self):
+        clean = Processor().run_traced(hot_profile(), 80.0, sample_interval_s=0.02)
+        faulty = Processor()
+        inj = inject_machine_faults(faulty, FaultPlan(seed=9, sample_dropout_p=0.6))
+        run = faulty.run_traced(hot_profile(), 80.0, sample_interval_s=0.02)
+        assert inj.samples_seen == len(clean.samples)
+        assert len(run.samples) == inj.samples_seen - inj.samples_dropped
+        assert inj.samples_dropped > 0
+        assert math.isfinite(run.energy_j)
+
+    def test_traced_run_with_noise_keeps_totals_sane(self):
+        faulty = Processor()
+        inj = inject_machine_faults(faulty, FaultPlan(seed=9, sample_noise_w=2.0))
+        run = faulty.run_traced(hot_profile(), 80.0, sample_interval_s=0.02)
+        assert inj.samples_noised == len(run.samples) > 0

@@ -1,0 +1,72 @@
+"""Store-layer damage: torn tails recover, corruption and mismatch refuse."""
+
+import pytest
+
+from repro.core import ResultStore, StoreMismatchError, StudyConfig, SweepEngine
+from repro.faults import corrupt_header, flip_fingerprint, tear_tail
+
+CFG = StudyConfig(name="t", algorithms=("threshold",), sizes=(12,))
+
+
+@pytest.fixture()
+def full_store(tmp_path):
+    path = tmp_path / "s.jsonl"
+    result = SweepEngine(n_cycles=2, workers=0, store=path).run(CFG)
+    return path, result
+
+
+class TestTearTail:
+    def test_reload_drops_only_the_torn_point(self, full_store):
+        path, result = full_store
+        torn = tear_tail(path)
+        assert torn > 0
+        store = ResultStore(path)
+        assert len(store) == len(result.points) - 1
+        assert store.completed_keys() == {p.key for p in result.points[:-1]}
+
+    def test_resume_completes_bitwise_identical(self, full_store):
+        path, result = full_store
+        tear_tail(path)
+        engine = SweepEngine(n_cycles=2, workers=0, store=path)
+        resumed = engine.run(CFG)
+        assert engine.stats.points_resumed == len(result.points) - 1
+        assert [p.to_dict() for p in resumed.points] == [p.to_dict() for p in result.points]
+
+    def test_append_after_recovery_is_clean(self, full_store):
+        path, result = full_store
+        tear_tail(path)
+        store = ResultStore(path)
+        store.append(result.points[-1])
+        reloaded = ResultStore(path)
+        assert reloaded.completed_keys() == {p.key for p in result.points}
+
+    def test_header_only_store_untouched(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        store = ResultStore(path)
+        store.ensure_compatible("abc", {})
+        before = path.read_bytes()
+        assert tear_tail(path) == 0
+        assert path.read_bytes() == before
+
+
+class TestHeaderDamage:
+    def test_corrupt_header_refused(self, full_store):
+        path, _ = full_store
+        corrupt_header(path)
+        with pytest.raises(ValueError):
+            ResultStore(path)
+
+    def test_flipped_fingerprint_refuses_resume(self, full_store):
+        path, _ = full_store
+        flip_fingerprint(path)
+        with pytest.raises(StoreMismatchError, match="refusing to mix"):
+            SweepEngine(n_cycles=2, workers=0, store=path).run(CFG)
+
+    def test_corrupt_middle_record_is_fatal(self, full_store):
+        """Only a *final* partial line is recoverable; garbage mid-file is not."""
+        path, _ = full_store
+        lines = path.read_text().splitlines()
+        lines[3] = lines[3][: len(lines[3]) // 2]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="corrupt record"):
+            ResultStore(path)
