@@ -1,0 +1,138 @@
+"""Kernel microbenchmarks: wall-clock timings of the real extraction kernels.
+
+Unlike the table/figure benchmarks (which re-price cached ledgers through
+the machine model), these time the *actual* NumPy kernel executions —
+the cost center of every sweep — and record the trajectory into
+``BENCH_kernels.json`` via :class:`repro.core.benchtrack.BenchTracker`,
+so each PR leaves a perf point the next one can regress against.
+
+Standalone (updates ``BENCH_kernels.json`` at the repo root)::
+
+    python benchmarks/bench_kernels.py --sizes 32 128 --repeats 3
+
+Under pytest the same measurements run once per kernel at a small size
+(capped by ``REPRO_MAX_SIZE``) as a smoke test; thresholds are only
+enforced where a pre-optimization baseline exists for the measured size
+(the 128³ contour / clip / isovolume acceptance floors).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.benchtrack import DEFAULT_BENCH_PATH, BenchTracker, time_kernel
+from repro.data.generators import make_dataset
+from repro.harness import effective_sizes
+from repro.viz import ALGORITHMS
+
+#: Kernels timed at every requested size (the extraction layer).
+EXTRACTION_KERNELS = ("contour", "threshold", "clip", "isovolume", "slice")
+
+#: Heavier kernels timed only at the smallest requested size (their cost
+#: is dominated by fixed factors: seeds x steps, rays x images).
+RENDER_KERNELS = ("advection", "raytrace", "volume")
+
+#: Minimum speedup vs the recorded pre-optimization baseline (PR 3's
+#: acceptance criteria).  Only checked when the baseline is present.
+SPEEDUP_FLOORS = {("contour", 128): 3.0, ("clip", 128): 2.0, ("isovolume", 128): 2.0}
+
+_DATASETS: dict[int, object] = {}
+
+
+def _dataset(size: int):
+    if size not in _DATASETS:
+        _DATASETS[size] = make_dataset(size, kind="blobs", seed=7)
+    return _DATASETS[size]
+
+
+def run_suite(
+    sizes: list[int],
+    *,
+    repeats: int = 3,
+    path: str | Path = DEFAULT_BENCH_PATH,
+    save: bool = True,
+) -> BenchTracker:
+    """Time every kernel, record into the trajectory file, return it."""
+    tracker = BenchTracker(path)
+    sizes = sorted(set(sizes))
+    for kernel in EXTRACTION_KERNELS + RENDER_KERNELS:
+        kernel_sizes = sizes if kernel in EXTRACTION_KERNELS else sizes[:1]
+        for size in kernel_sizes:
+            ds = _dataset(size)
+            filt = ALGORITHMS[kernel]()
+            timing = time_kernel(lambda: filt.execute(ds), repeats=repeats)
+            entry = tracker.record(
+                kernel,
+                size,
+                timing["best_s"],
+                mean_s=timing["mean_s"],
+                repeats=int(timing["repeats"]),
+            )
+            speed = entry.get("speedup_vs_baseline")
+            note = f"  ({speed:.2f}x vs baseline)" if speed else ""
+            print(f"{kernel:>10s} @ {size:>3d}^3: {entry['seconds']:.3f}s{note}")
+    if save:
+        tracker.save()
+    return tracker
+
+
+def check_floors(tracker: BenchTracker) -> list[str]:
+    """Return failure messages for any measured kernel below its floor."""
+    failures = []
+    for (kernel, size), floor in SPEEDUP_FLOORS.items():
+        entry = tracker.get(kernel, size)
+        if entry is None or "speedup_vs_baseline" not in entry:
+            continue  # size not measured or no baseline recorded: nothing to check
+        if entry["speedup_vs_baseline"] < floor:
+            failures.append(
+                f"{kernel}@{size}^3: {entry['speedup_vs_baseline']:.2f}x < {floor}x floor "
+                f"({entry['seconds']:.3f}s vs baseline {entry['baseline_s']:.3f}s)"
+            )
+    return failures
+
+
+# --------------------------------------------------------------------- pytest
+@pytest.mark.parametrize("kernel", EXTRACTION_KERNELS + RENDER_KERNELS)
+def bench_kernel_smoke(benchmark, kernel, tmp_path):
+    """One real execution per kernel at a smoke size, trajectory recorded."""
+    size = effective_sizes((32,))[0]
+    ds = _dataset(size)
+    filt = ALGORITHMS[kernel]()
+    result = benchmark.pedantic(lambda: filt.execute(ds), rounds=1, iterations=1)
+    assert result.counts.as_dict(), f"{kernel} recorded an empty ledger"
+    tracker = BenchTracker(tmp_path / "BENCH_kernels.json")
+    tracker.record(kernel, size, 0.0)
+    tracker.save()
+    assert tracker.get(kernel, size) is not None
+
+
+# ----------------------------------------------------------------------- main
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=int, nargs="+", default=[32, 128],
+                        help="dataset sizes (cells per axis) to time")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions per kernel (min is recorded)")
+    parser.add_argument("--path", default=str(DEFAULT_BENCH_PATH),
+                        help="trajectory file to update")
+    parser.add_argument("--no-check", action="store_true",
+                        help="skip the speedup-floor regression check")
+    args = parser.parse_args(argv)
+
+    sizes = effective_sizes(tuple(args.sizes))
+    tracker = run_suite(list(sizes), repeats=args.repeats, path=args.path)
+    print(f"recorded {len(tracker)} entries -> {tracker.path}")
+    if not args.no_check:
+        failures = check_floors(tracker)
+        for msg in failures:
+            print("REGRESSION:", msg, file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

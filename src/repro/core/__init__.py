@@ -1,6 +1,8 @@
 """The study itself: sweeps, metrics, classification, recommendations."""
 
 from .advisor import CapRecommendation, recommend_cap, recommend_split
+from .atomicio import atomic_write_json, atomic_write_text
+from .benchtrack import BenchTracker, time_kernel
 from .classify import Classification, PowerClass, classify, classify_result
 from .engine import EngineStats, ProfileJob, SweepEngine, SweepError
 from .metrics import SLOWDOWN_THRESHOLD, Ratios, element_rate, energy_delay_product, first_slowdown_cap
@@ -59,6 +61,10 @@ __all__ = [
     "ProfileCache",
     "profile_from_ledger",
     "run_algorithm_ledger",
+    "BenchTracker",
+    "time_kernel",
+    "atomic_write_json",
+    "atomic_write_text",
     "PowerClass",
     "Classification",
     "classify",

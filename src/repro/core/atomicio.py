@@ -1,0 +1,51 @@
+"""Crash-safe small-file persistence shared by the JSON side-stores.
+
+The JSONL :class:`~repro.core.store.ResultStore` gets durability from
+append + fsync; the whole-document JSON stores (the profile cache, the
+kernel benchmark trajectory) instead rewrite their file on every save,
+which a crash or a concurrent sweep worker can interrupt half-way.
+:func:`atomic_write_text` closes that hole: write to a sibling temp
+file, fsync it, then :func:`os.replace` over the target — readers only
+ever observe the old complete document or the new complete document.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_text", "atomic_write_json"]
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Atomically replace ``path``'s contents with ``text``.
+
+    The temp file lives in the target's directory so ``os.replace`` is a
+    same-filesystem rename (atomic on POSIX).  The data is fsynced
+    before the rename, so a crash leaves either the previous file or the
+    new one — never a truncated hybrid.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: str | Path, doc: dict, *, indent: int | None = None) -> None:
+    """Serialize ``doc`` (sorted keys) and atomically write it to ``path``."""
+    atomic_write_text(path, json.dumps(doc, sort_keys=True, indent=indent))

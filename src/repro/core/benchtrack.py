@@ -1,0 +1,131 @@
+"""Kernel benchmark trajectory: per-kernel timings persisted across PRs.
+
+The extraction kernels are the cost center of every sweep (288 Phase 3
+configurations reduce to 32 real extractions, each sweeping up to 16.7M
+cells), so their wall-clock performance is a regression surface in its
+own right.  This module records per-kernel timings into a small JSON
+document — ``BENCH_kernels.json`` by default — so every PR leaves a
+trajectory point the next one can regress against:
+
+* :func:`time_kernel` — min-of-``repeats`` timing of a callable (min is
+  the standard noise-robust estimator for micro-benchmarks).
+* :class:`BenchTracker` — load/record/save the trajectory document,
+  written atomically via :mod:`repro.core.atomicio` so an interrupted
+  benchmark run never corrupts the history.
+
+Entries are keyed ``kernel/size``; recording the same key again
+overwrites the measurement but preserves ``baseline_s`` (the pre-
+optimization reference time) unless a new baseline is given, and keeps
+``speedup_vs_baseline`` up to date.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from .atomicio import atomic_write_json
+
+__all__ = ["BenchTracker", "time_kernel", "DEFAULT_BENCH_PATH"]
+
+BENCH_FORMAT = "repro-bench-kernels"
+BENCH_VERSION = 1
+
+#: Repo-root trajectory file (CI uploads it as an artifact per PR).
+DEFAULT_BENCH_PATH = Path("BENCH_kernels.json")
+
+
+def time_kernel(
+    fn: Callable[[], Any], *, repeats: int = 3, warmup: int = 1
+) -> dict[str, float]:
+    """Time ``fn`` and return ``{"best_s", "mean_s", "repeats"}``.
+
+    ``warmup`` un-timed calls come first so one-time costs (index cache
+    population, allocator warm-up) don't pollute the measurement.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    for _ in range(warmup):
+        fn()
+    runs = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        runs.append(time.perf_counter() - t0)
+    return {
+        "best_s": min(runs),
+        "mean_s": sum(runs) / len(runs),
+        "repeats": float(repeats),
+    }
+
+
+class BenchTracker:
+    """The ``BENCH_kernels.json`` document: load, record, save atomically."""
+
+    def __init__(self, path: str | Path = DEFAULT_BENCH_PATH):
+        self.path = Path(path)
+        self.entries: dict[str, dict[str, Any]] = {}
+        if self.path.exists():
+            doc = json.loads(self.path.read_text())
+            if doc.get("format") != BENCH_FORMAT:
+                raise ValueError(
+                    f"{self.path} is not a kernel benchmark file "
+                    f"(format={doc.get('format')!r})"
+                )
+            if int(doc.get("version", 1)) > BENCH_VERSION:
+                raise ValueError(
+                    f"{self.path} has version {doc['version']}, newer than "
+                    f"supported {BENCH_VERSION}"
+                )
+            self.entries = {k: dict(v) for k, v in doc.get("entries", {}).items()}
+
+    @staticmethod
+    def key(kernel: str, size: int) -> str:
+        return f"{kernel}/{int(size)}"
+
+    def record(
+        self,
+        kernel: str,
+        size: int,
+        seconds: float,
+        *,
+        baseline_s: float | None = None,
+        **meta: Any,
+    ) -> dict[str, Any]:
+        """Record a timing; returns the stored entry.
+
+        ``baseline_s`` pins the reference time the speedup is computed
+        against.  Omitted, any previously recorded baseline is kept, so
+        re-running the suite updates the measurement while preserving
+        the pre-optimization anchor.
+        """
+        key = self.key(kernel, size)
+        prev = self.entries.get(key, {})
+        if baseline_s is None:
+            baseline_s = prev.get("baseline_s")
+        entry: dict[str, Any] = {
+            "kernel": kernel,
+            "size": int(size),
+            "seconds": float(seconds),
+            "recorded_unix": time.time(),
+        }
+        if baseline_s is not None:
+            entry["baseline_s"] = float(baseline_s)
+            if seconds > 0:
+                entry["speedup_vs_baseline"] = float(baseline_s) / float(seconds)
+        entry.update(meta)
+        self.entries[key] = entry
+        return entry
+
+    def get(self, kernel: str, size: int) -> dict[str, Any] | None:
+        entry = self.entries.get(self.key(kernel, size))
+        return dict(entry) if entry is not None else None
+
+    def save(self) -> None:
+        doc = {"format": BENCH_FORMAT, "version": BENCH_VERSION, "entries": self.entries}
+        atomic_write_json(self.path, doc, indent=1)
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -32,6 +32,7 @@ from ..data.grid import UniformGrid
 from ..viz import ALGORITHMS
 from ..viz.base import OpCounts
 from ..workload import WorkProfile
+from .atomicio import atomic_write_json
 
 __all__ = ["ProfileCache", "profile_from_ledger", "run_algorithm_ledger"]
 
@@ -121,7 +122,12 @@ class ProfileCache:
         self._entries = {k: dict(v) for k, v in doc["entries"].items()}
 
     def _migrate_pickle(self, legacy: Path) -> None:
-        raw = pickle.loads(legacy.read_bytes())
+        try:
+            raw = pickle.loads(legacy.read_bytes())
+        except Exception:
+            # A torn or foreign legacy file must not brick the harness:
+            # it is only a cache, so start empty and re-record.
+            return
         self._entries = {
             self._key(alg, size): {k: float(v) for k, v in counts.items()}
             for (alg, size), counts in raw.items()
@@ -131,9 +137,12 @@ class ProfileCache:
     def _save(self) -> None:
         if self.path is None:
             return
-        self.path.parent.mkdir(parents=True, exist_ok=True)
         doc = {"format": self.FORMAT, "version": self.VERSION, "entries": self._entries}
-        self.path.write_text(json.dumps(doc, sort_keys=True))
+        # Temp-file + os.replace (+ fsync): a crashed or concurrent sweep
+        # worker can never leave a truncated profiles.json — readers see
+        # the old complete document or the new one, nothing in between
+        # (the same crash-safety contract the ResultStore makes).
+        atomic_write_json(self.path, doc)
 
     # ------------------------------------------------------------------ access
     def get(self, algorithm: str, size: int) -> dict[str, float] | None:

@@ -193,11 +193,20 @@ class StudyResult:
 
     @classmethod
     def from_jsonl(cls, source: str | Path) -> "StudyResult":
-        """Parse :meth:`to_jsonl` output (a path or the text itself)."""
-        if isinstance(source, Path) or (isinstance(source, str) and "\n" not in source):
-            text = Path(source).read_text()
-        else:
+        """Parse :meth:`to_jsonl` output (a path or the text itself).
+
+        A string is treated as inline JSONL text when it starts with
+        ``{`` (every serialized result opens with its JSON header line),
+        otherwise as a filesystem path.  This keeps a header-only result
+        — a single line with no ``\\n`` — parseable as text instead of
+        raising ``FileNotFoundError``.
+        """
+        if isinstance(source, Path):
+            text = source.read_text()
+        elif source.lstrip().startswith("{") or "\n" in source:
             text = source
+        else:
+            text = Path(source).read_text()
         lines = [ln for ln in text.splitlines() if ln.strip()]
         if not lines:
             raise ValueError("empty study result")

@@ -11,10 +11,11 @@ ordering.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
-__all__ = ["UniformGrid", "HEX_CORNER_OFFSETS"]
+__all__ = ["UniformGrid", "HEX_CORNER_OFFSETS", "corner_gather", "cell_corner_reduce"]
 
 # VTK/MC hexahedron corner ordering: bottom face CCW (z=0), then top face
 # (z=1).  Column k gives the (di, dj, dk) lattice offset of corner k.
@@ -31,6 +32,60 @@ HEX_CORNER_OFFSETS: np.ndarray = np.array(
     ],
     dtype=np.int64,
 )
+
+
+# --------------------------------------------------------------------- gather
+# Corner gathers (cell -> 8 point ids) are the hot index plumbing of every
+# extraction kernel: contour, threshold, clip, isovolume, and tetclip all
+# rebuild it per call.  The mapping depends only on the cell topology
+# (cell_dims), never on origin/spacing, so it is cached once per lattice
+# shape: a base point id per cell plus the 8 linearized corner strides.
+# lru_cache is safe under the pool engine — worker processes each build
+# their own cache, and CPython's GIL serializes the dict update so
+# concurrent threads at worst compute an entry twice.
+
+
+@lru_cache(maxsize=4)
+def corner_gather(cell_dims: tuple[int, int, int]) -> tuple[np.ndarray, np.ndarray]:
+    """Cached corner-gather plumbing for a lattice shape.
+
+    Returns ``(base_ids, strides)`` where ``base_ids[c]`` is the point id
+    of cell ``c``'s corner 0 and ``strides[k]`` is the linear offset of
+    corner ``k`` (VTK order), so ``base_ids[c] + strides`` are the cell's
+    8 corner point ids.  Both arrays are read-only views shared by every
+    grid with these ``cell_dims`` — callers must not mutate them.
+    """
+    nx, ny, nz = (int(d) for d in cell_dims)
+    px, py = nx + 1, ny + 1
+    i = np.arange(nx, dtype=np.int64)
+    j = np.arange(ny, dtype=np.int64)
+    k = np.arange(nz, dtype=np.int64)
+    base = (i[None, None, :] + px * (j[None, :, None] + py * k[:, None, None])).reshape(-1)
+    di, dj, dk = HEX_CORNER_OFFSETS[:, 0], HEX_CORNER_OFFSETS[:, 1], HEX_CORNER_OFFSETS[:, 2]
+    strides = di + px * (dj + py * dk)
+    base.setflags(write=False)
+    strides.setflags(write=False)
+    return base, strides
+
+
+def cell_corner_reduce(
+    cell_dims: tuple[int, int, int], point_values: np.ndarray, ufunc: np.ufunc
+) -> np.ndarray:
+    """Reduce a point field over each cell's 8 corners with ``ufunc``.
+
+    Equivalent to ``ufunc.reduce(point_values[grid.cell_point_ids()],
+    axis=1)`` but computed as 7 shifted-lattice-view applications, never
+    materializing the ``(n_cells, 8)`` gather.  This is the interval/
+    classification fast path: ``np.minimum``/``np.maximum`` give the
+    corner value interval; feeding a 0/1 array through ``np.add`` counts
+    inside corners.
+    """
+    nx, ny, nz = (int(d) for d in cell_dims)
+    lat = np.asarray(point_values).reshape(nz + 1, ny + 1, nx + 1)
+    out = lat[:nz, :ny, :nx].copy()
+    for di, dj, dk in HEX_CORNER_OFFSETS[1:]:
+        ufunc(out, lat[dk : dk + nz, dj : dj + ny, di : di + nx], out=out)
+    return out.reshape(-1)
 
 
 @dataclass(frozen=True)
@@ -118,28 +173,35 @@ class UniformGrid:
         """Point ids of the 8 corners of each cell, VTK-ordered.
 
         Returns an ``(n, 8)`` int array.  With ``cell_ids=None``, covers
-        every cell in the grid (row ``c`` is cell ``c``).
+        every cell in the grid (row ``c`` is cell ``c``).  The index
+        plumbing (one base id per cell + 8 corner strides) comes from the
+        shared :func:`corner_gather` cache, so repeated extractions over
+        the same lattice shape skip the ijk decompose/re-linearize work.
         """
-        if cell_ids is None:
-            cell_ids = np.arange(self.n_cells, dtype=np.int64)
-        i, j, k = self.cell_ijk(np.asarray(cell_ids, dtype=np.int64))
-        di, dj, dk = HEX_CORNER_OFFSETS[:, 0], HEX_CORNER_OFFSETS[:, 1], HEX_CORNER_OFFSETS[:, 2]
-        return self.point_index(
-            i[:, None] + di[None, :], j[:, None] + dj[None, :], k[:, None] + dk[None, :]
-        )
+        base, strides = corner_gather(self.cell_dims)
+        if cell_ids is not None:
+            base = base[np.asarray(cell_ids, dtype=np.int64)]
+        return base[:, None] + strides[None, :]
 
     # ------------------------------------------------------------- geometry
     def point_coords(self, point_ids: np.ndarray | None = None) -> np.ndarray:
         """World-space coordinates of points as an ``(n, 3)`` float array."""
         px, py, pz = self.point_dims
+        ox, oy, oz = self.origin
+        sx, sy, sz = self.spacing
         if point_ids is None:
-            point_ids = np.arange(self.n_points, dtype=np.int64)
+            # Full-grid fast path: broadcast the three 1-D axis coordinate
+            # arrays instead of decomposing every point id (same
+            # ``origin + index * spacing`` arithmetic, so bitwise equal).
+            out = np.empty((pz, py, px, 3), dtype=np.float64)
+            out[..., 0] = (ox + np.arange(px, dtype=np.int64) * sx)[None, None, :]
+            out[..., 1] = (oy + np.arange(py, dtype=np.int64) * sy)[None, :, None]
+            out[..., 2] = (oz + np.arange(pz, dtype=np.int64) * sz)[:, None, None]
+            return out.reshape(-1, 3)
         pid = np.asarray(point_ids, dtype=np.int64)
         i = pid % px
         j = (pid // px) % py
         k = pid // (px * py)
-        ox, oy, oz = self.origin
-        sx, sy, sz = self.spacing
         return np.stack([ox + i * sx, oy + j * sy, oz + k * sz], axis=-1).astype(np.float64)
 
     def cell_centers(self, cell_ids: np.ndarray | None = None) -> np.ndarray:

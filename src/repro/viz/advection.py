@@ -30,11 +30,8 @@ def seed_grid(bounds: np.ndarray, n_seeds: int, *, margin: float = 0.15) -> np.n
     """Deterministic lattice of ~``n_seeds`` seeds inside the bounds."""
     bounds = np.asarray(bounds, dtype=np.float64)
     per_axis = max(1, int(round(n_seeds ** (1.0 / 3.0))))
-    axes = []
-    for d in range(3):
-        lo, hi = bounds[d]
-        pad = margin * (hi - lo)
-        axes.append(np.linspace(lo + pad, hi - pad, per_axis))
+    pad = margin * (bounds[:, 1] - bounds[:, 0])
+    axes = np.linspace(bounds[:, 0] + pad, bounds[:, 1] - pad, per_axis, axis=1)
     gx, gy, gz = np.meshgrid(*axes, indexing="ij")
     return np.stack([gx.ravel(), gy.ravel(), gz.ravel()], axis=1)
 
@@ -142,18 +139,17 @@ def _unit(v: np.ndarray) -> np.ndarray:
 
 
 def _build_polylines(history: list[np.ndarray], alive_history: list[np.ndarray]) -> PolyLines:
-    """Assemble per-particle trajectories into a PolyLines bundle."""
-    n = history[0].shape[0]
-    pts: list[np.ndarray] = []
-    offsets = [0]
+    """Assemble per-particle trajectories into a PolyLines bundle.
+
+    A particle's line covers every recorded position up to (and
+    including) the step at which it died: its length is the number of
+    steps it was alive for (seed included), at least 1.  Assembly is a
+    single boolean compress over the particle-major history.
+    """
     hist = np.stack(history)            # (steps+1, n, 3)
     alive = np.stack(alive_history)     # (steps+1, n)
-    for p in range(n):
-        # A particle's line covers every recorded position up to (and
-        # including) the step at which it died.
-        valid = alive[:, p]
-        last = int(valid.sum())  # positions while alive, plus the seed
-        traj = hist[: max(last, 1), p]
-        pts.append(traj)
-        offsets.append(offsets[-1] + traj.shape[0])
-    return PolyLines(np.vstack(pts), np.asarray(offsets))
+    lengths = np.maximum(alive.sum(axis=0), 1)             # (n,)
+    keep = np.arange(hist.shape[0])[None, :] < lengths[:, None]   # (n, steps+1)
+    pts = hist.transpose(1, 0, 2)[keep]                    # particle-major compress
+    offsets = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(lengths)])
+    return PolyLines(pts, offsets)

@@ -9,6 +9,15 @@ Python wall time — is what the simulated machine executes, because the
 profile describes the work a VTK-m/TBB implementation of the same
 algorithm performs on the study's Broadwell node.
 
+**The ledger contract.**  The ledger records the *semantic* work of the
+algorithm (cells classified, triangles emitted, samples taken), not the
+work the Python implementation happened to do.  Implementation
+optimizations — interval culling, gather caches, active-set compaction —
+must therefore leave every ledger entry bitwise identical: a culled
+contour still "classifies" every cell at every isovalue, because the
+modeled VTK-m worklet does.  ``tests/viz/test_golden_ledgers.py`` pins
+this with recorded reference ledgers per (algorithm, size).
+
 A fixed **framework segment** models VTK-m's per-worklet dispatch
 overhead (scheduling, allocation, connectivity setup).  It is the same
 size regardless of dataset size, which is what pushes measured IPC *down*

@@ -156,9 +156,12 @@ class Bvh:
         sp[rows0] = 1
         stats.node_visits += n_rays
 
-        active = sp > 0
-        while active.any():
-            rows = np.nonzero(active)[0]
+        # Active-set compaction: a ray leaves the working set exactly when
+        # its stack empties, and nothing outside the working set can push
+        # onto it, so the dense index array can be carried and filtered
+        # instead of recomputed via nonzero on a boolean mask each round.
+        rows = np.nonzero(sp > 0)[0]
+        while rows.size:
             sp[rows] -= 1
             nodes = stack[rows, sp[rows]]
             stats.node_visits += rows.size
@@ -189,7 +192,7 @@ class Bvh:
             if lrows.size:
                 self._leaf_test(o, d, lrows, lnodes - self.first_leaf, t_best, hit_tri, stats)
 
-            active = sp > 0
+            rows = rows[sp[rows] > 0]
         return t_best, hit_tri
 
     def _box_test(

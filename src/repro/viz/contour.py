@@ -5,6 +5,12 @@ producing an isosurface of the energy field.  The implementation is the
 classic two-phase worklet structure (classify cells → generate
 geometry), vectorized over cells and chunked so 256³ grids fit in
 memory.  Lookup tables come from :mod:`repro.data.mc_tables`.
+
+Per-cell corner intervals (min/max) are computed once per chunk and each
+isovalue is tested against them, so only straddled cells reach the
+8-corner case classification — a pure implementation optimization: the
+op-count ledger records the same classify/active/triangle work as the
+unculled two-phase pass (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -12,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.fields import DataSet
-from ..data.grid import HEX_CORNER_OFFSETS
+from ..data.grid import HEX_CORNER_OFFSETS, cell_corner_reduce
 from ..data.mc_tables import get_tables
 from ..data.mesh import TriangleMesh
 from ..workload import WorkSegment
@@ -94,27 +100,36 @@ class Contour(Filter):
         spacing = np.asarray(grid.spacing)
         corner_off = HEX_CORNER_OFFSETS.astype(np.float64) * spacing
 
+        # Interval culling: per-cell corner min/max, computed once for the
+        # whole grid as shifted-lattice reductions (no (n, 8) gather), and
+        # each isovalue tested against the interval.  A cell produces
+        # triangles iff its MC case is neither 0 nor 255, i.e. iff some
+        # corner is > iso and some is <= iso — exactly
+        # (cmin <= iso) & (cmax > iso) — so the active set (and the
+        # ledger) is unchanged; only straddled cells reach the 8-corner
+        # case classification and the generate gather.
+        cmin = cell_corner_reduce(grid.cell_dims, scalars, np.minimum)
+        cmax = cell_corner_reduce(grid.cell_dims, scalars, np.maximum)
+
         pts_chunks: list[np.ndarray] = []
         val_chunks: list[np.ndarray] = []
         n_cells = grid.n_cells
         for start in range(0, n_cells, self.chunk_cells):
-            cell_ids = np.arange(start, min(start + self.chunk_cells, n_cells), dtype=np.int64)
-            cpids = grid.cell_point_ids(cell_ids)
-            corner_vals = scalars[cpids]  # (nc, 8)
-            i, j, k = grid.cell_ijk(cell_ids)
-            origins = np.stack([i, j, k], axis=1) * spacing + np.asarray(grid.origin)
+            stop = min(start + self.chunk_cells, n_cells)
+            ccmin = cmin[start:stop]
+            ccmax = cmax[start:stop]
             for iso in isovalues:
-                counts.add("cells_classified", cell_ids.size)
-                inside = corner_vals > iso
-                cases = inside @ _CASE_WEIGHTS
-                tri_n = tables.tri_count[cases]
-                active = np.nonzero(tri_n > 0)[0]
+                counts.add("cells_classified", stop - start)
+                active = np.nonzero((ccmin <= iso) & (ccmax > iso))[0]
                 counts.add("active_cells", active.size)
                 if active.size == 0:
                     continue
-                pts, vals = _generate(
-                    tables, cases[active], corner_vals[active], origins[active], corner_off, iso
-                )
+                active_ids = active + start
+                active_vals = scalars[grid.cell_point_ids(active_ids)]
+                cases = (active_vals > iso) @ _CASE_WEIGHTS
+                i, j, k = grid.cell_ijk(active_ids)
+                origins = np.stack([i, j, k], axis=1) * spacing + np.asarray(grid.origin)
+                pts, vals = _generate(tables, cases, active_vals, origins, corner_off, iso)
                 counts.add("triangles", pts.shape[0] // 3)
                 if self.keep_output:
                     pts_chunks.append(pts)

@@ -101,9 +101,11 @@ class VolumeRenderer(Filter):
         color = np.zeros((n, 3))
         alpha = np.zeros(n)
         t = tnear + 0.5 * step
-        active = t < tfar
-        while active.any():
-            rows = np.nonzero(active)[0]
+        # Active-set compaction: carry the dense index array of marching
+        # rays and shrink it in place, instead of re-deriving it from a
+        # boolean mask with nonzero + scattered fancy indexing each step.
+        rows = np.nonzero(t < tfar)[0]
+        while rows.size:
             pos = origins[rows] + t[rows, None] * dirs[rows]
             s, _ = trilinear(grid, scal, pos)
             counts.add("samples", rows.size)
@@ -117,7 +119,7 @@ class VolumeRenderer(Filter):
             alpha[rows] += (1.0 - alpha[rows]) * a
 
             t[rows] += step
-            active[rows] = (t[rows] < tfar[rows]) & (alpha[rows] < self.early_termination)
+            rows = rows[(t[rows] < tfar[rows]) & (alpha[rows] < self.early_termination)]
         # Composite over a dark background.
         bg = np.array([0.08, 0.08, 0.10])
         return color + (1.0 - alpha)[:, None] * bg

@@ -59,6 +59,26 @@ class TestStudyResultSerialization:
         with pytest.raises(ValueError, match="not a study result"):
             StudyResult.from_jsonl(p)
 
+    def test_from_jsonl_inline_text(self, result):
+        back = StudyResult.from_jsonl(result.to_jsonl())
+        assert back.points == result.points
+
+    def test_from_jsonl_header_only_single_line(self):
+        """A point-free result is one JSON line with no newline; the text
+        starts with ``{`` so it must parse as inline text, not a path."""
+        empty = StudyResult(config_name="empty")
+        text = empty.to_jsonl().strip()
+        assert "\n" not in text
+        back = StudyResult.from_jsonl(text)
+        assert back.config_name == "empty"
+        assert back.points == []
+
+    def test_from_jsonl_string_path(self, result, tmp_path):
+        path = tmp_path / "r.jsonl"
+        result.to_jsonl(path)
+        back = StudyResult.from_jsonl(str(path))
+        assert back.points == result.points
+
 
 class TestResultStore:
     def test_append_and_reload(self, result, tmp_path):

@@ -1,0 +1,125 @@
+"""Tests for the shared cell-corner gather cache (``corner_gather``).
+
+The cache is keyed on cell topology (``cell_dims``) only — origin and
+spacing never affect point ids — and is shared by every filter that
+gathers per-cell corner values.  Worker processes of the pool engine
+each build their own copy (``lru_cache`` is per-process); within a
+process the GIL makes cached reads thread-safe, which the hammer test
+below exercises.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.data.grid import HEX_CORNER_OFFSETS, UniformGrid, cell_corner_reduce, corner_gather
+
+
+def _naive_cell_point_ids(grid: UniformGrid) -> np.ndarray:
+    """The pre-cache formula: per-cell loop over the 8 corner offsets."""
+    ci, cj, ck = grid.cell_ijk(np.arange(grid.n_cells))
+    px, py = grid.point_dims[0], grid.point_dims[1]
+    out = np.empty((grid.n_cells, 8), dtype=np.int64)
+    for c, (di, dj, dk) in enumerate(HEX_CORNER_OFFSETS):
+        out[:, c] = (ci + di) + px * ((cj + dj) + py * (ck + dk))
+    return out
+
+
+class TestCornerGather:
+    def setup_method(self):
+        corner_gather.cache_clear()
+
+    def test_matches_naive_formula(self):
+        grid = UniformGrid(cell_dims=(4, 3, 5))
+        np.testing.assert_array_equal(grid.cell_point_ids(), _naive_cell_point_ids(grid))
+
+    def test_subset_matches_naive(self):
+        grid = UniformGrid(cell_dims=(5, 4, 3))
+        ids = np.array([0, 7, 31, grid.n_cells - 1])
+        np.testing.assert_array_equal(
+            grid.cell_point_ids(ids), _naive_cell_point_ids(grid)[ids]
+        )
+
+    def test_one_entry_per_topology(self):
+        UniformGrid(cell_dims=(3, 3, 3)).cell_point_ids()
+        UniformGrid(cell_dims=(4, 4, 4)).cell_point_ids()
+        assert corner_gather.cache_info().currsize == 2
+
+    def test_shared_across_spacing_and_origin(self):
+        """Same topology with different geometry hits the same entry."""
+        a = UniformGrid(cell_dims=(4, 4, 4))
+        b = UniformGrid(cell_dims=(4, 4, 4), spacing=(0.5, 2.0, 3.0), origin=(-1.0, 5.0, 0.25))
+        np.testing.assert_array_equal(a.cell_point_ids(), b.cell_point_ids())
+        assert corner_gather.cache_info().currsize == 1
+        # ... but geometry-dependent outputs still differ: no aliasing of
+        # coordinates through the shared topology cache.
+        assert not np.array_equal(a.point_coords(), b.point_coords())
+
+    def test_no_cross_grid_mutation(self):
+        """Returned id arrays are fresh copies; writing one can't corrupt
+        the cache or another grid's view."""
+        a = UniformGrid(cell_dims=(3, 3, 3))
+        b = UniformGrid(cell_dims=(3, 3, 3))
+        expected = _naive_cell_point_ids(a)
+        ids = a.cell_point_ids()
+        ids += 1000  # caller mutates its result
+        np.testing.assert_array_equal(b.cell_point_ids(), expected)
+
+    def test_cached_arrays_are_read_only(self):
+        base, strides = corner_gather((4, 4, 4))
+        with pytest.raises(ValueError):
+            base[0] = 99
+        with pytest.raises(ValueError):
+            strides[0] = 99
+
+    def test_lru_bounded(self):
+        maxsize = corner_gather.cache_info().maxsize
+        for n in range(2, 2 + maxsize + 3):
+            corner_gather((n, n, n))
+        assert corner_gather.cache_info().currsize <= maxsize
+
+    def test_thread_safety_under_hammering(self):
+        grids = [UniformGrid(cell_dims=(n, n, n)) for n in (3, 4, 5, 6)]
+        expected = [_naive_cell_point_ids(g) for g in grids]
+
+        def hammer(i: int) -> bool:
+            g = grids[i % len(grids)]
+            return bool(np.array_equal(g.cell_point_ids(), expected[i % len(grids)]))
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            assert all(pool.map(hammer, range(64)))
+
+
+class TestCellCornerReduce:
+    """Lattice-shifted reductions vs an explicit (n, 8) gather."""
+
+    @pytest.fixture()
+    def grid(self):
+        return UniformGrid(cell_dims=(5, 4, 6))
+
+    @pytest.fixture()
+    def values(self, grid):
+        rng = np.random.default_rng(11)
+        return rng.normal(size=grid.n_points)
+
+    def test_min_max(self, grid, values):
+        gathered = values[grid.cell_point_ids()]
+        np.testing.assert_array_equal(
+            cell_corner_reduce(grid.cell_dims, values, np.minimum), gathered.min(axis=1)
+        )
+        np.testing.assert_array_equal(
+            cell_corner_reduce(grid.cell_dims, values, np.maximum), gathered.max(axis=1)
+        )
+
+    def test_inside_count(self, grid, values):
+        inside = (values >= 0.0).astype(np.uint8)
+        counts = cell_corner_reduce(grid.cell_dims, inside, np.add)
+        np.testing.assert_array_equal(counts, inside[grid.cell_point_ids()].sum(axis=1))
+
+    def test_input_not_mutated(self, grid, values):
+        before = values.copy()
+        cell_corner_reduce(grid.cell_dims, values, np.maximum)
+        np.testing.assert_array_equal(values, before)

@@ -58,6 +58,18 @@ class TestSeedGrid:
         assert seeds.shape == (64, 3)
         assert grid16.contains(seeds).all()
 
+    def test_matches_per_axis_loop_bitwise(self, grid16):
+        """The batched linspace reproduces the per-dimension loop exactly."""
+        bounds = np.asarray(grid16.bounds, dtype=np.float64)
+        per_axis = max(1, int(round(64 ** (1.0 / 3.0))))
+        axes = []
+        for lo, hi in bounds:
+            pad = 0.15 * (hi - lo)
+            axes.append(np.linspace(lo + pad, hi - pad, per_axis))
+        gx, gy, gz = np.meshgrid(*axes, indexing="ij")
+        expected = np.stack([gx.ravel(), gy.ravel(), gz.ravel()], axis=1)
+        np.testing.assert_array_equal(seed_grid(grid16.bounds, 64), expected)
+
     def test_margin(self, grid16):
         seeds = seed_grid(grid16.bounds, 27, margin=0.2)
         assert seeds.min() >= 0.2 - 1e-12
