@@ -102,8 +102,16 @@ def sweep_engine(
     timeout_s: float | None = None,
     max_retries: int = 2,
     progress=None,
+    trace=None,
+    samples=None,
+    sample_interval_s: float = 0.1,
 ) -> SweepEngine:
-    """A configured :class:`SweepEngine` (the facade's construction point)."""
+    """A configured :class:`SweepEngine` (the facade's construction point).
+
+    ``trace`` (a :class:`~repro.obs.trace.Tracer` or a path) records
+    spans/events; ``samples`` (``True`` or a path) streams 100 ms power
+    samples per run point (see :mod:`repro.obs`).
+    """
     return SweepEngine(
         spec,
         dataset_kind=dataset_kind,
@@ -115,6 +123,9 @@ def sweep_engine(
         store=store,
         profile_cache=ProfileCache(cache),
         progress=progress,
+        trace=trace,
+        samples=samples,
+        sample_interval_s=sample_interval_s,
     )
 
 
@@ -130,13 +141,19 @@ def run_study(
     n_cycles: int = DEFAULT_VIZ_CYCLES,
     seed: int = 7,
     progress=None,
+    trace=None,
+    samples=None,
+    sample_interval_s: float = 0.1,
 ) -> StudyResult:
     """Run a study sweep and return its points.
 
     ``workers`` > 1 fans profile executions out across processes;
     ``store`` makes the sweep resumable (see
     :mod:`repro.core.engine`).  The default is serial and in-memory —
-    identical output, no side effects.
+    identical output, no side effects.  ``trace``/``samples`` switch on
+    the telemetry layer (:mod:`repro.obs`): spans + events to a trace
+    file, and a per-point power/frequency sample stream next to the
+    store.
     """
     engine = sweep_engine(
         workers=workers,
@@ -147,6 +164,9 @@ def run_study(
         n_cycles=n_cycles,
         seed=seed,
         progress=progress,
+        trace=trace,
+        samples=samples,
+        sample_interval_s=sample_interval_s,
     )
     return engine.run(resolve_config(config), resume=resume)
 
@@ -162,6 +182,7 @@ def run_chaos(
     chaos_seed: int | None = None,
     spec=None,
     progress=None,
+    trace=None,
 ) -> ChaosReport:
     """Run a sweep under a named (or explicit) fault plan; report survival.
 
@@ -183,6 +204,7 @@ def run_chaos(
         seed=seed,
         spec=spec,
         progress=progress,
+        trace=trace,
     )
 
 

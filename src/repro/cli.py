@@ -7,8 +7,11 @@
     python -m repro classify            # class + recommended cap per algorithm
     python -m repro all --csv results/  # everything, with CSV artifacts
     python -m repro sweep phase3 --workers 8 --store sweep.jsonl
+    python -m repro sweep phase1 --trace sweep.trace.jsonl --samples
     python -m repro chaos phase1 --plan default --workers 4
     python -m repro doctor .cache/sweep-phase1.jsonl
+    python -m repro trace sweep.trace.jsonl
+    python -m repro metrics sweep.metrics.json --format prom
 
 ``sweep`` runs a phase grid through the parallel engine with a
 resumable result store: kill it mid-run and re-invoke with the same
@@ -20,6 +23,10 @@ per-measurement visualization cycle count.
 sensor dropout, a torn store tail, ...) and reports survival; ``doctor``
 audits an existing store against the physical invariants and can
 quarantine violators.  See docs/robustness.md.
+
+``trace`` and ``metrics`` read back the telemetry layer's artifacts —
+per-phase span breakdowns and counter/gauge/histogram dumps (JSON or
+Prometheus text).  See docs/observability.md.
 """
 
 from __future__ import annotations
@@ -167,6 +174,8 @@ def cmd_sweep(args) -> None:
         cache=args.cache or None,
         n_cycles=args.cycles,
         progress=_sweep_progress,
+        trace=args.trace,
+        samples=args.samples or None,
     )
     n_jobs = len(config.algorithms) * len(config.sizes)
     mode = "serial" if (engine.workers or 0) <= 1 else f"{engine.workers} workers"
@@ -185,6 +194,10 @@ def cmd_sweep(args) -> None:
         f"{s.points_resumed} resumed from store, {s.retries} retries"
         + (", serial fallback" if s.fell_back_serial else "")
     )
+    if args.trace:
+        print(f"trace: {args.trace} (inspect with `repro trace {args.trace}`)")
+    if args.samples:
+        print(f"samples: {engine.sample_writer.path}")
 
 
 def cmd_chaos(args) -> int:
@@ -203,6 +216,7 @@ def cmd_chaos(args) -> int:
         n_cycles=args.cycles,
         chaos_seed=args.seed,
         progress=_sweep_progress if args.verbose else None,
+        trace=args.trace,
     )
     print(report.render())
     return 0 if report.survived else 1
@@ -212,6 +226,36 @@ def cmd_doctor(args) -> int:
     report = api.doctor(args.store, quarantine=args.quarantine)
     print(report.render())
     return 0 if report.ok else 1
+
+
+def cmd_trace(args) -> int:
+    from .obs.trace import read_trace, render_summary, summarize_trace
+
+    _, records = read_trace(args.file)
+    n_events = sum(1 for r in records if r.get("kind") == "event")
+    summary = summarize_trace(records, name=args.name)
+    print(render_summary(summary, n_events=n_events))
+    if args.events:
+        for r in records:
+            if r.get("kind") != "event":
+                continue
+            attrs = r.get("attrs") or {}
+            detail = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+            print(f"  [{r.get('t_s', 0.0):9.3f}s] {r.get('name')} {detail}".rstrip())
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    from .obs.metrics import load_metrics
+
+    registry = load_metrics(args.file)
+    if args.format == "prom":
+        print(registry.to_prometheus(), end="")
+    else:
+        import json as _json
+
+        print(_json.dumps(registry.to_json(), indent=1, sort_keys=True))
+    return 0
 
 
 _COMMANDS = {
@@ -269,6 +313,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="result store path (default: .cache/sweep-<phase>.jsonl)")
     sweep.add_argument("--resume", default=True, action=argparse.BooleanOptionalAction,
                        help="resume from points already in the store (--no-resume wipes it)")
+    sweep.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a span/event trace (JSONL; read with `repro trace`)")
+    sweep.add_argument("--samples", action="store_true",
+                       help="stream 100 ms power samples to <store>.samples.jsonl")
 
     chaos = sub.add_parser(
         "chaos",
@@ -293,6 +341,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="result store path (default: .cache/chaos-<phase>.jsonl)")
     chaos.add_argument("--verbose", action="store_true",
                        help="stream per-point engine events")
+    chaos.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a span/event trace of all five chaos phases")
 
     doctor = sub.add_parser(
         "doctor",
@@ -304,6 +354,28 @@ def _build_parser() -> argparse.ArgumentParser:
     doctor.add_argument("store", help="store file to audit (sweep --store output)")
     doctor.add_argument("--quarantine", action="store_true",
                         help="move violating points to the *.quarantine.jsonl sidecar")
+
+    trace = sub.add_parser(
+        "trace",
+        help="per-phase breakdown of a sweep/chaos trace file",
+        description="Aggregate a telemetry trace (sweep --trace output): "
+        "span counts, total/mean/max wall time, and share per phase.",
+    )
+    trace.add_argument("file", help="trace file (JSONL, sweep/chaos --trace output)")
+    trace.add_argument("--name", default=None, metavar="SUBSTR",
+                       help="only phases whose name contains SUBSTR")
+    trace.add_argument("--events", action="store_true",
+                       help="also list point events (retries, faults, quarantines)")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="dump a sweep's metrics file (JSON or Prometheus text)",
+        description="Read back a <store>.metrics.json dump written by the "
+        "engine and print it as JSON or Prometheus text exposition format.",
+    )
+    metrics.add_argument("file", help="metrics file (<store>.metrics.json)")
+    metrics.add_argument("--format", default="prom", choices=("prom", "json"),
+                         help="output format (default: prom)")
     return parser
 
 
@@ -315,6 +387,10 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "doctor":
         return cmd_doctor(args)
+    if args.command == "trace":
+        return cmd_trace(args)
+    if args.command == "metrics":
+        return cmd_metrics(args)
     if args.command == "chaos":
         return cmd_chaos(args)
     if args.command == "sweep":

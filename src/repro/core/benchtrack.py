@@ -26,6 +26,7 @@ import time
 from pathlib import Path
 from typing import Any, Callable
 
+from ..obs.metrics import get_registry
 from .atomicio import atomic_write_json
 
 __all__ = ["BenchTracker", "time_kernel", "DEFAULT_BENCH_PATH"]
@@ -105,6 +106,14 @@ class BenchTracker:
         prev = self.entries.get(key, {})
         if baseline_s is None:
             baseline_s = prev.get("baseline_s")
+        # Mirror into the process metrics registry so a benchmark run
+        # shows up in `repro metrics` output alongside sweep counters.
+        get_registry().histogram(
+            "repro_bench_kernel_seconds",
+            help="Recorded kernel benchmark wall time",
+            kernel=kernel,
+            size=str(int(size)),
+        ).observe(float(seconds))
         entry: dict[str, Any] = {
             "kernel": kernel,
             "size": int(size),

@@ -43,10 +43,16 @@ import pickle
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass, field
 
 from ..machine.simulator import Processor
 from ..machine.spec import MachineSpec
+from ..obs.manifest import build_manifest, manifest_path_for, write_manifest
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.samples import SampleWriter, samples_path_for
+from ..obs.trace import NULL_SPAN, Tracer
+from .atomicio import atomic_write_json
 from .profiles import ProfileCache, profile_from_ledger, run_algorithm_ledger
 from .runner import DEFAULT_VIZ_CYCLES, StudyResult, make_run_point
 from .store import ResultStore, sweep_fingerprint
@@ -149,6 +155,28 @@ class SweepEngine:
         Callable receiving event dicts (``kind`` ∈ ``profile-done``,
         ``group-skipped``, ``serial-fallback``, ``point-quarantined``,
         ``interrupted``, ``summary``).
+    trace:
+        :class:`~repro.obs.trace.Tracer` or a path for a JSONL trace of
+        the run: a ``sweep`` root span, ``profile-job`` spans per real
+        execution, ``price-group`` spans per repriced group, and events
+        for retries/faults/quarantines.  While a traced run is in
+        flight the tracer is installed as the process default, so
+        in-process kernel executions contribute their own spans.
+    samples:
+        ``True`` persists a ≥10 Hz power/frequency sample stream per
+        completed point to ``<store>.samples.jsonl`` (requires a
+        store); a path writes there instead.  Streams are synthesized
+        from the closed-form run via
+        :meth:`~repro.machine.simulator.RunResult.sample_stream`, so
+        each stream's time-weighted mean power equals the point's
+        ``power_w`` exactly.
+    sample_interval_s:
+        Sampler granularity (default 0.1 s — the paper's 100 ms).
+    metrics:
+        :class:`~repro.obs.metrics.MetricsRegistry` to publish run
+        counters into (default: the process-wide registry).  With a
+        store attached, the registry is also dumped to
+        ``<store>.metrics.json`` after every run.
     """
 
     def __init__(
@@ -169,6 +197,10 @@ class SweepEngine:
         faults=None,
         validate: bool = True,
         progress=None,
+        trace: Tracer | str | os.PathLike | None = None,
+        samples: bool | str | os.PathLike | None = None,
+        sample_interval_s: float = 0.1,
+        metrics: MetricsRegistry | None = None,
     ):
         if n_cycles < 1:
             raise ValueError("n_cycles must be positive")
@@ -190,6 +222,18 @@ class SweepEngine:
         self.faults = faults
         self.validator = PointValidator(self.spec) if validate else None
         self._progress = progress
+        self.tracer = trace if isinstance(trace, Tracer) or trace is None else Tracer(trace)
+        if sample_interval_s <= 0:
+            raise ValueError("sample_interval_s must be positive")
+        self.sample_interval_s = float(sample_interval_s)
+        if samples is True:
+            if self.store is None:
+                raise ValueError("samples=True needs a store to sit alongside")
+            samples = samples_path_for(self.store.path)
+        self.sample_writer = (
+            SampleWriter(samples) if samples not in (None, False) else None
+        )
+        self.metrics = metrics if metrics is not None else get_registry()
         self.stats = EngineStats()
 
     # ----------------------------------------------------------- identity
@@ -210,6 +254,66 @@ class SweepEngine:
         if self._progress is not None:
             self._progress({"kind": kind, **fields})
 
+    # ----------------------------------------------------------- telemetry
+    def _span(self, name: str, **attrs):
+        return self.tracer.span(name, **attrs) if self.tracer is not None else NULL_SPAN
+
+    def _event(self, name: str, **attrs) -> None:
+        if self.tracer is not None:
+            self.tracer.event(name, **attrs)
+
+    def _write_manifest(self, config: StudyConfig, fingerprint: str) -> None:
+        manifest = build_manifest(
+            spec=asdict(self.spec),
+            config={
+                "name": config.name,
+                "algorithms": list(config.algorithms),
+                "sizes": list(config.sizes),
+                "caps_w": list(config.caps_w),
+            },
+            seed=self.seed,
+            n_cycles=self.n_cycles,
+            dataset_kind=self.dataset_kind,
+            fingerprint=fingerprint,
+            fault_plan=getattr(self.faults, "name", None),
+            extra={"workers": self.workers, "store": str(self.store.path)},
+        )
+        write_manifest(manifest_path_for(self.store.path), manifest)
+
+    def _publish_metrics(self, rapl_before: tuple[int, int]) -> None:
+        reg, s = self.metrics, self.stats
+        if reg is None:
+            return
+        reg.counter(
+            "repro_profile_jobs_total", "profile jobs by source", source="executed"
+        ).inc(s.profile_jobs_run)
+        reg.counter(
+            "repro_profile_jobs_total", "profile jobs by source", source="ledger-cache"
+        ).inc(s.profile_jobs_cached)
+        for outcome, n in (
+            ("computed", s.points_computed),
+            ("resumed", s.points_resumed),
+            ("quarantined", s.points_quarantined),
+        ):
+            reg.counter("repro_points_total", "run points by outcome", outcome=outcome).inc(n)
+        reg.counter("repro_retries_total", "profile-job retry attempts").inc(s.retries)
+        reg.counter("repro_faults_injected_total", "faults injected by the active plan").inc(
+            s.faults_injected
+        )
+        rapl = self.processor.rapl
+        reg.counter("repro_rapl_decisions_total", "RAPL operating-point decisions").inc(
+            rapl.decisions - rapl_before[0]
+        )
+        reg.counter(
+            "repro_rapl_throttle_decisions_total",
+            "RAPL decisions that fell back to duty-cycle throttling",
+        ).inc(rapl.throttle_decisions - rapl_before[1])
+        reg.gauge("repro_sweep_wall_seconds", "wall time of the last sweep run").set(s.wall_s)
+        if self.store is not None:
+            atomic_write_json(
+                self.store.path.with_suffix(".metrics.json"), reg.to_json(), indent=1
+            )
+
     # ----------------------------------------------------------- profiles
     def profile_for(self, algorithm: str, size: int):
         """Cycle-scaled profile via the ledger cache (executes on a miss)."""
@@ -227,10 +331,18 @@ class SweepEngine:
         """Execute a phase grid, skipping points already in the store.
 
         With ``resume=False`` an existing store is wiped and rebound to
-        this sweep's fingerprint instead of being resumed.
+        this sweep's fingerprint instead of being resumed.  A traced run
+        installs its tracer as the process default for its duration, so
+        in-process kernel executions emit their spans into the same file.
         """
+        default_ctx = self.tracer.as_default() if self.tracer is not None else nullcontext()
+        with default_ctx, self._span("sweep", config=config.name, resume=resume):
+            return self._run(config, resume=resume)
+
+    def _run(self, config: StudyConfig, *, resume: bool) -> StudyResult:
         t0 = time.perf_counter()
         self.stats = EngineStats()
+        rapl_before = (self.processor.rapl.decisions, self.processor.rapl.throttle_decisions)
         done: dict[tuple[str, int, float], object] = {}
         if self.store is not None:
             fp = self.fingerprint()
@@ -240,6 +352,7 @@ class SweepEngine:
                 done = self.store.points
             else:
                 self.store.reset(fp, meta)
+            self._write_manifest(config, fp)
 
         caps = tuple(config.caps_w)
         default_cap = config.default_cap_w
@@ -262,45 +375,8 @@ class SweepEngine:
             """Reprice every missing cap of a group, gate each point
             through the invariant checks, and stream survivors to the
             store (violators go to the quarantine sidecar)."""
-            profile = profile_from_ledger(
-                alg, size, self.profile_cache.get(alg, size), n_cycles=self.n_cycles
-            )
-            base = self.processor.run(profile, default_cap)
-            fresh: list = []
-            for cap in caps:
-                if (alg, size, cap) in results:
-                    continue
-                run = base if cap == default_cap else self.processor.run(profile, cap)
-                point = make_run_point(alg, size, cap, run, base, default_cap)
-                if self.faults is not None:
-                    point = self.faults.corrupt_point(point)
-                fresh.append(point)
-
-            bad: dict = {}
-            if self.validator is not None and fresh:
-                resumed = [results[(alg, size, c)] for c in caps if (alg, size, c) in results]
-                bad = self.validator.check_group(resumed + fresh)
-            for point in fresh:
-                reasons = bad.get(point.key)
-                if reasons:
-                    # A violating point never reaches the main store: it
-                    # lands in the sidecar with machine-readable reasons
-                    # and the sweep keeps going.
-                    self.stats.points_quarantined += 1
-                    if self.store is not None:
-                        self.store.quarantine(point, reasons)
-                    self._emit(
-                        "point-quarantined",
-                        algorithm=alg,
-                        size=size,
-                        cap_w=point.cap_w,
-                        reasons=[r.code for r in reasons],
-                    )
-                    continue
-                results[point.key] = point
-                self.stats.points_computed += 1
-                if self.store is not None:
-                    self.store.append(point)
+            with self._span("price-group", algorithm=alg, size=size):
+                self._price_group(alg, size, caps, default_cap, results)
 
         # Ledger-cached groups are priced immediately; the rest become
         # profile jobs, each group priced the moment its job completes —
@@ -322,11 +398,16 @@ class SweepEngine:
             self.stats.wall_s = time.perf_counter() - t0
             if self.store is not None:
                 self.store.sync()
+            if self.sample_writer is not None:
+                self.sample_writer.flush()
+            points_saved = len(self.store) if self.store is not None else len(results)
+            self._event("interrupted", points_saved=points_saved)
             self._emit(
                 "interrupted",
-                points_saved=len(self.store) if self.store is not None else len(results),
+                points_saved=points_saved,
                 computed=self.stats.points_computed,
             )
+            self._publish_metrics(rapl_before)
             raise
 
         # Quarantined cells are absent by design: the result carries the
@@ -339,6 +420,9 @@ class SweepEngine:
             if (a, s, c) in results
         ]
         self.stats.wall_s = time.perf_counter() - t0
+        if self.sample_writer is not None:
+            self.sample_writer.flush()
+        self._publish_metrics(rapl_before)
         self._emit(
             "summary",
             config=config.name,
@@ -355,6 +439,71 @@ class SweepEngine:
         )
         return StudyResult(config_name=config.name, points=ordered)
 
+    # ---------------------------------------------------------- repricing
+    def _price_group(
+        self,
+        alg: str,
+        size: int,
+        caps: tuple[float, ...],
+        default_cap: float,
+        results: dict,
+    ) -> None:
+        profile = profile_from_ledger(
+            alg, size, self.profile_cache.get(alg, size), n_cycles=self.n_cycles
+        )
+        base = self.processor.run(profile, default_cap)
+        fresh: list = []  # (cap, point, run) — cap keyed off the grid, not the
+        # (possibly fault-corrupted) point, so sample streams always come
+        # from the simulator's ground-truth run.
+        for cap in caps:
+            if (alg, size, cap) in results:
+                continue
+            run = base if cap == default_cap else self.processor.run(profile, cap)
+            point = make_run_point(alg, size, cap, run, base, default_cap)
+            if self.faults is not None:
+                point = self.faults.corrupt_point(point)
+            fresh.append((cap, point, run))
+
+        bad: dict = {}
+        if self.validator is not None and fresh:
+            resumed = [results[(alg, size, c)] for c in caps if (alg, size, c) in results]
+            bad = self.validator.check_group(resumed + [p for _, p, _ in fresh])
+        for cap, point, run in fresh:
+            reasons = bad.get(point.key)
+            if reasons:
+                # A violating point never reaches the main store: it
+                # lands in the sidecar with machine-readable reasons
+                # and the sweep keeps going.
+                self.stats.points_quarantined += 1
+                if self.store is not None:
+                    self.store.quarantine(point, reasons)
+                self._event(
+                    "point-quarantined",
+                    algorithm=alg,
+                    size=size,
+                    cap_w=point.cap_w,
+                    reasons=[r.code for r in reasons],
+                )
+                self._emit(
+                    "point-quarantined",
+                    algorithm=alg,
+                    size=size,
+                    cap_w=point.cap_w,
+                    reasons=[r.code for r in reasons],
+                )
+                continue
+            results[point.key] = point
+            self.stats.points_computed += 1
+            if self.store is not None:
+                self.store.append(point)
+            if self.sample_writer is not None:
+                self.sample_writer.write_stream(
+                    algorithm=alg,
+                    size=size,
+                    cap_w=cap,
+                    samples=run.sample_stream(self.sample_interval_s),
+                )
+
     # ------------------------------------------------------- job execution
     def _execute_jobs(self, jobs: list[ProfileJob], on_done=None) -> None:
         if not jobs:
@@ -366,6 +515,7 @@ class SweepEngine:
                 return
             except _PoolFailure as exc:
                 self.stats.fell_back_serial = True
+                self._event("serial-fallback", reason=str(exc.__cause__ or exc))
                 self._emit("serial-fallback", reason=str(exc.__cause__ or exc))
                 remaining = [
                     j for j in jobs if self.profile_cache.get(j.algorithm, j.size) is None
@@ -402,11 +552,24 @@ class SweepEngine:
             attempt = 0
             while True:
                 try:
-                    ledger = self._job_body(job, attempt)(job)
+                    with self._span(
+                        "profile-job",
+                        algorithm=job.algorithm,
+                        size=job.size,
+                        attempt=attempt,
+                        mode="serial",
+                    ):
+                        ledger = self._job_body(job, attempt)(job)
                     break
                 except Exception as exc:
                     if getattr(exc, "injected", False):
                         self.stats.faults_injected += 1
+                        self._event(
+                            "fault-injected",
+                            algorithm=job.algorithm,
+                            size=job.size,
+                            error=repr(exc),
+                        )
                     attempt += 1
                     if attempt > self.max_retries:
                         raise SweepError(
@@ -414,6 +577,13 @@ class SweepEngine:
                             f"after {attempt} attempts: {exc}"
                         ) from exc
                     self.stats.retries += 1
+                    self._event(
+                        "retry",
+                        algorithm=job.algorithm,
+                        size=job.size,
+                        attempt=attempt,
+                        error=repr(exc),
+                    )
                     time.sleep(self.backoff_s * 2 ** (attempt - 1))
             self._record(job, ledger, i, total, time.perf_counter() - t0, on_done)
 
@@ -486,13 +656,26 @@ class SweepEngine:
                     self._retry_or_raise(job, exc, attempts, pending)
                 else:
                     completed += 1
-                    self._record(
-                        job, ledger, completed, total, time.perf_counter() - t0, on_done
-                    )
+                    dt = time.perf_counter() - t0
+                    if self.tracer is not None:
+                        # The job ran in a worker process (its kernel
+                        # spans are invisible here); record its span
+                        # from the parent-side wall time.
+                        self.tracer.record_span(
+                            "profile-job",
+                            dt,
+                            algorithm=job.algorithm,
+                            size=job.size,
+                            mode="pool",
+                        )
+                    self._record(job, ledger, completed, total, dt, on_done)
 
     def _retry_or_raise(self, job, exc, attempts, pending) -> None:
         if getattr(exc, "injected", False):
             self.stats.faults_injected += 1
+            self._event(
+                "fault-injected", algorithm=job.algorithm, size=job.size, error=repr(exc)
+            )
         attempts[job] = attempts.get(job, 0) + 1
         if attempts[job] > self.max_retries:
             raise SweepError(
@@ -500,5 +683,12 @@ class SweepEngine:
                 f"after {attempts[job]} attempts: {exc}"
             ) from exc
         self.stats.retries += 1
+        self._event(
+            "retry",
+            algorithm=job.algorithm,
+            size=job.size,
+            attempt=attempts[job],
+            error=repr(exc),
+        )
         time.sleep(self.backoff_s * 2 ** (attempts[job] - 1))
         pending.append(job)

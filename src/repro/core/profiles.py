@@ -29,6 +29,7 @@ from pathlib import Path
 from ..data.fields import DataSet
 from ..data.generators import make_dataset
 from ..data.grid import UniformGrid
+from ..obs.trace import log_event
 from ..viz import ALGORITHMS
 from ..viz.base import OpCounts
 from ..workload import WorkProfile
@@ -124,14 +125,30 @@ class ProfileCache:
     def _migrate_pickle(self, legacy: Path) -> None:
         try:
             raw = pickle.loads(legacy.read_bytes())
-        except Exception:
-            # A torn or foreign legacy file must not brick the harness:
-            # it is only a cache, so start empty and re-record.
+            entries = {
+                self._key(alg, size): {k: float(v) for k, v in counts.items()}
+                for (alg, size), counts in raw.items()
+            }
+        except Exception as exc:
+            # A torn or foreign legacy file must not brick the harness —
+            # it is only a cache, so start empty and re-record.  But say
+            # so, and move the unreadable file aside: left in place it
+            # would be re-parsed (and silently re-discarded) on every
+            # startup, hiding the corruption forever.
+            corrupt = legacy.with_name(legacy.name + ".corrupt")
+            log_event(
+                "profile-cache-corrupt",
+                f"legacy profile cache {legacy} is unreadable ({exc!r}); "
+                f"renaming to {corrupt.name} and starting with an empty cache",
+                path=str(legacy),
+                renamed_to=str(corrupt),
+            )
+            try:
+                legacy.replace(corrupt)
+            except OSError:
+                pass  # read-only cache dir: the warning above still fired
             return
-        self._entries = {
-            self._key(alg, size): {k: float(v) for k, v in counts.items()}
-            for (alg, size), counts in raw.items()
-        }
+        self._entries = entries
         self._save()
 
     def _save(self) -> None:

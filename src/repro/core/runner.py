@@ -14,6 +14,7 @@ configurations require only 32 real algorithm executions.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -23,6 +24,7 @@ from ..machine.simulator import Processor, RunResult
 from ..machine.spec import MachineSpec
 from ..viz import ALGORITHMS
 from ..workload import WorkProfile
+from .atomicio import atomic_write_text
 from .metrics import Ratios
 from .study import StudyConfig
 
@@ -126,8 +128,20 @@ class StudyResult:
         if size is not None:
             out = [p for p in out if p.size == size]
         if cap_w is not None:
-            out = [p for p in out if p.cap_w == cap_w]
+            # Caps are floats and travel through CSV/JSONL: exact ==
+            # silently drops fractional caps (62.5 W) that picked up a
+            # last-ulp wobble on a round-trip, so match with a tolerance
+            # far below any physically distinct cap spacing.
+            out = [
+                p for p in out if math.isclose(p.cap_w, cap_w, rel_tol=1e-9, abs_tol=1e-6)
+            ]
         return out
+
+    def filter(
+        self, *, algorithm: str | None = None, size: int | None = None, cap_w: float | None = None
+    ) -> list[RunPoint]:
+        """Alias of :meth:`select` (float-tolerant on ``cap_w``)."""
+        return self.select(algorithm=algorithm, size=size, cap_w=cap_w)
 
     def baseline(self, algorithm: str, size: int) -> RunPoint:
         """The default-power (highest-cap) point for an algorithm/size."""
@@ -186,9 +200,7 @@ class StudyResult:
         lines.extend(p.to_jsonl() for p in self.points)
         text = "\n".join(lines) + "\n"
         if path is not None:
-            out = Path(path)
-            out.parent.mkdir(parents=True, exist_ok=True)
-            out.write_text(text)
+            atomic_write_text(Path(path), text)
         return text
 
     @classmethod

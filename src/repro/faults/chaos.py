@@ -22,7 +22,9 @@ wrong in the main store.
 
 from __future__ import annotations
 
+import os
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -32,6 +34,7 @@ from ..core.store import ResultStore
 from ..core.study import StudyConfig
 from ..machine.simulator import Processor
 from ..machine.spec import MachineSpec
+from ..obs.trace import Tracer, event, span
 from .machine import MachineFaultInjector, inject_machine_faults
 from .plan import FaultPlan
 from .storefx import tear_tail
@@ -137,15 +140,20 @@ def run_chaos(
     spec: MachineSpec | None = None,
     timeout_s: float | None = None,
     progress=None,
+    trace: Tracer | str | os.PathLike | None = None,
 ) -> ChaosReport:
     """Execute ``config`` under ``plan`` and report what survived.
 
     ``store`` must be a path (the resume pass re-opens it from disk to
     exercise recovery).  The reference sweep is serial and in-memory.
+    ``trace`` (a :class:`~repro.obs.trace.Tracer` or a path) records all
+    five phases — reference sweep, chaos pass, store tear, resume pass,
+    machine probe — plus both engines' spans into one trace file.
     """
     t0 = time.perf_counter()
     store_path = Path(store)
     report = ChaosReport(plan=plan.name, config=config.name)
+    tracer = trace if isinstance(trace, Tracer) or trace is None else Tracer(trace)
 
     def engine(**kw) -> SweepEngine:
         return SweepEngine(
@@ -154,74 +162,92 @@ def run_chaos(
             n_cycles=n_cycles,
             seed=seed,
             backoff_s=0.01,
+            trace=tracer,
             **kw,
         )
 
-    # 1. Ground truth, no faults.
-    reference = engine(workers=0).run(config)
-    ref_points = {p.key: p for p in reference.points}
-    report.expected = len(ref_points)
+    # Install the tracer as the process default for the duration so the
+    # kernel spans fired inside serial engine runs land in the same file.
+    with (tracer.as_default() if tracer is not None else nullcontext()):
+        with span("chaos", plan=plan.name, config=config.name):
+            # 1. Ground truth, no faults.
+            with span("chaos-reference"):
+                reference = engine(workers=0).run(config)
+            ref_points = {p.key: p for p in reference.points}
+            report.expected = len(ref_points)
 
-    # A hang is only a fault if something times it out.
-    if timeout_s is None and plan.worker_hang_p > 0:
-        timeout_s = max(plan.hang_s * 0.5, 0.05)
-    # The plan bounds faults per job, so a retry budget at least that
-    # deep always recovers from injected crashes.
-    max_retries = max(2, plan.max_faults_per_job + 1)
+            # A hang is only a fault if something times it out.
+            if timeout_s is None and plan.worker_hang_p > 0:
+                timeout_s = max(plan.hang_s * 0.5, 0.05)
+            # The plan bounds faults per job, so a retry budget at least
+            # that deep always recovers from injected crashes.
+            max_retries = max(2, plan.max_faults_per_job + 1)
 
-    # 2. Chaos pass.
-    chaos_engine = engine(
-        workers=workers,
-        timeout_s=timeout_s,
-        max_retries=max_retries,
-        store=store_path,
-        faults=plan,
-        progress=progress,
-    )
-    chaos_engine.run(config, resume=False)
-    report.retries = chaos_engine.stats.retries
-    report.faults_injected = chaos_engine.stats.faults_injected
-    report.fell_back_serial = chaos_engine.stats.fell_back_serial
+            # 2. Chaos pass.
+            chaos_engine = engine(
+                workers=workers,
+                timeout_s=timeout_s,
+                max_retries=max_retries,
+                store=store_path,
+                faults=plan,
+                progress=progress,
+            )
+            with span("chaos-pass", plan=plan.name):
+                chaos_engine.run(config, resume=False)
+            report.retries = chaos_engine.stats.retries
+            report.faults_injected = chaos_engine.stats.faults_injected
+            report.fell_back_serial = chaos_engine.stats.fell_back_serial
 
-    # 3. Damage the store the way a mid-write kill would.
-    if plan.torn_tail:
-        report.torn_bytes = tear_tail(store_path)
+            # 3. Damage the store the way a mid-write kill would.
+            if plan.torn_tail:
+                with span("chaos-tear-store"):
+                    report.torn_bytes = tear_tail(store_path)
+                event("store-torn", bytes=report.torn_bytes, store=str(store_path))
 
-    # 4. Resume: recovery must complete exactly the missing points.
-    resume_engine = engine(
-        workers=workers,
-        timeout_s=timeout_s,
-        max_retries=max_retries,
-        store=store_path,
-        faults=plan,
-        profile_cache=chaos_engine.profile_cache,
-        progress=progress,
-    )
-    resume_engine.run(config, resume=True)
-    report.resumed_points = resume_engine.stats.points_resumed
-    report.retries += resume_engine.stats.retries
-    report.faults_injected += resume_engine.stats.faults_injected
+            # 4. Resume: recovery must complete exactly the missing points.
+            resume_engine = engine(
+                workers=workers,
+                timeout_s=timeout_s,
+                max_retries=max_retries,
+                store=store_path,
+                faults=plan,
+                profile_cache=chaos_engine.profile_cache,
+                progress=progress,
+            )
+            with span("chaos-resume"):
+                resume_engine.run(config, resume=True)
+            report.resumed_points = resume_engine.stats.points_resumed
+            report.retries += resume_engine.stats.retries
+            report.faults_injected += resume_engine.stats.faults_injected
 
-    # 5. Survival accounting against ground truth.
-    final = ResultStore(store_path)
-    report.completed = len(final)
-    report.bitwise_identical = all(
-        key in ref_points and point.to_dict() == ref_points[key].to_dict()
-        for key, point in final.points.items()
-    )
-    quarantined_keys = {p.key for p, _ in final.quarantined()}
-    report.quarantined = len(quarantined_keys)
-    report.lost = len(set(ref_points) - final.completed_keys())
-    for _, reasons in final.quarantined():
-        for r in reasons:
-            code = r.get("code", "?")
-            report.quarantine_reasons[code] = report.quarantine_reasons.get(code, 0) + 1
+            # 5. Survival accounting against ground truth.
+            final = ResultStore(store_path)
+            report.completed = len(final)
+            report.bitwise_identical = all(
+                key in ref_points and point.to_dict() == ref_points[key].to_dict()
+                for key, point in final.points.items()
+            )
+            quarantined_keys = {p.key for p, _ in final.quarantined()}
+            report.quarantined = len(quarantined_keys)
+            report.lost = len(set(ref_points) - final.completed_keys())
+            for _, reasons in final.quarantined():
+                for r in reasons:
+                    code = r.get("code", "?")
+                    report.quarantine_reasons[code] = (
+                        report.quarantine_reasons.get(code, 0) + 1
+                    )
 
-    # 6. Sensor-level probe (traced mode), if the plan has machine faults.
-    if any(
-        (plan.cap_jitter_w, plan.cap_excursion_p, plan.sample_dropout_p, plan.sample_noise_w)
-    ):
-        _machine_probe(report, plan, config, chaos_engine.profile_cache, spec)
+            # 6. Sensor-level probe (traced), if the plan has machine faults.
+            if any(
+                (
+                    plan.cap_jitter_w,
+                    plan.cap_excursion_p,
+                    plan.sample_dropout_p,
+                    plan.sample_noise_w,
+                )
+            ):
+                with span("chaos-machine-probe"):
+                    _machine_probe(report, plan, config, chaos_engine.profile_cache, spec)
 
     report.wall_s = time.perf_counter() - t0
     return report

@@ -1,6 +1,6 @@
 """Experiment harness: table/figure drivers and result emitters."""
 
-from .emit import result_to_csv, result_to_markdown, series_to_csv
+from .emit import result_from_csv, result_to_csv, result_to_markdown, series_to_csv
 from .experiments import DEFAULT_CACHE_PATH, ExperimentHarness, TableHarness, effective_sizes
 
 __all__ = [
@@ -9,6 +9,7 @@ __all__ = [
     "DEFAULT_CACHE_PATH",
     "effective_sizes",
     "result_to_csv",
+    "result_from_csv",
     "result_to_markdown",
     "series_to_csv",
 ]

@@ -55,6 +55,11 @@ class RaplController:
         #: operating-point decision for enforcement jitter and transient
         #: cap-not-met excursions.  None = clean enforcement.
         self.fault_hook = fault_hook
+        #: Telemetry accounting, read (as deltas) by the sweep engine's
+        #: metrics publication.  Plain ints so the hot decision loop pays
+        #: no lock or registry lookup.
+        self.decisions = 0
+        self.throttle_decisions = 0
 
     def validate_cap(self, cap_watts: float) -> float:
         """Clamp a requested cap into the socket's programmable range."""
@@ -76,6 +81,7 @@ class RaplController:
         simulator's integral correction feeds in here).
         """
         cap = self.validate_cap(cap_watts)
+        self.decisions += 1
         bins = self.spec.freq_bins
         hook = self.fault_hook
         if hook is not None:
@@ -101,6 +107,7 @@ class RaplController:
     def _duty_cycle(
         self, ev: SegmentEval, cap: float, power_offset_w: float
     ) -> OperatingPoint:
+        self.throttle_decisions += 1
         f = self.spec.f_min
         lo, hi = MIN_DUTY, 1.0
 

@@ -118,6 +118,65 @@ class RunResult:
     def cap_met(self) -> bool:
         return all(r.cap_met for r in self.records)
 
+    # ------------------------------------------------------------- sampling
+    def sample_stream(self, interval_s: float = 0.1) -> list[PowerSample]:
+        """Synthesize the 100 ms sampler's readings from a closed-form run.
+
+        Traced mode produces samples by construction; closed-form runs
+        (what the sweeps use) only keep per-segment aggregates.  Within
+        a segment the operating point is constant, so the sampler's
+        readings are exactly recoverable: walk the segments, split each
+        across ``interval_s`` windows, and emit one reading per window
+        (plus a final partial window).  The stream's time-weighted mean
+        power equals :attr:`avg_power_w` identically, and the sample
+        count is ``ceil(time_s / interval_s)`` — at least ``1/interval_s``
+        Hz over the run, the paper's Figures 4–5 granularity.
+        """
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        samples: list[PowerSample] = []
+        t = 0.0
+        window_t0 = 0.0
+        acc = [0.0, 0.0, 0.0, 0.0, 0.0]  # energy, f_eff*dt, instr, refs, misses
+
+        def emit() -> None:
+            dt = t - window_t0
+            samples.append(
+                PowerSample(
+                    t_s=window_t0,
+                    dt_s=dt,
+                    power_w=acc[0] / dt if dt > 0 else 0.0,
+                    f_eff_ghz=acc[1] / dt if dt > 0 else 0.0,
+                    instructions=acc[2],
+                    llc_refs=acc[3],
+                    llc_misses=acc[4],
+                )
+            )
+            acc[:] = [0.0, 0.0, 0.0, 0.0, 0.0]
+
+        for r in self.records:
+            if r.time_s <= 0:
+                continue
+            remaining = r.time_s
+            f_eff = r.f_ghz * r.duty  # what APERF/MPERF reports under throttling
+            while remaining > 1e-15:
+                room = window_t0 + interval_s - t
+                dt = min(remaining, room)
+                frac = dt / r.time_s
+                acc[0] += r.power_w * dt
+                acc[1] += f_eff * dt
+                acc[2] += r.instructions * frac
+                acc[3] += r.llc_refs * frac
+                acc[4] += r.llc_misses * frac
+                t += dt
+                remaining -= dt
+                if t >= window_t0 + interval_s - 1e-15:
+                    emit()
+                    window_t0 = t
+        if t > window_t0:
+            emit()
+        return samples
+
 
 class Processor:
     """One simulated socket with a RAPL controller attached."""

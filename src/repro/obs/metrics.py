@@ -1,0 +1,283 @@
+"""Metrics registry: counters, gauges, and histograms with exporters.
+
+Production power stacks expose their health as scrape-able metrics; our
+sweep stack does the same.  A :class:`MetricsRegistry` is a thread-safe
+bag of named instruments:
+
+* :class:`Counter` — monotonically increasing totals (jobs run, retries,
+  faults injected, points quarantined, cache hits);
+* :class:`Gauge` — last-value measurements (sweep wall time);
+* :class:`Histogram` — bucketed distributions (per-kernel wall time).
+
+Instruments carry optional Prometheus-style labels; requesting the same
+``(name, labels)`` pair twice returns the same instrument, so call sites
+never hold references across modules.  Two exporters:
+
+* :meth:`MetricsRegistry.to_json` / :meth:`from_json` — a lossless JSON
+  document (what the engine writes next to the result store);
+* :meth:`MetricsRegistry.to_prometheus` — the Prometheus text exposition
+  format, ready to serve or push.
+
+A process-wide default registry (:func:`get_registry`) collects from
+the engine, the RAPL controller accounting, and the bench tracker;
+tests swap it with :func:`set_registry`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import threading
+from pathlib import Path
+
+__all__ = [
+    "METRICS_FORMAT",
+    "METRICS_VERSION",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "load_metrics",
+]
+
+METRICS_FORMAT = "repro-metrics"
+METRICS_VERSION = 1
+
+#: Seconds-oriented default histogram bounds (wall-time distributions).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class _Instrument:
+    """Shared identity/lock plumbing for all three instrument kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, labels: dict[str, str], lock: threading.Lock):
+        self.name = name
+        self.labels = dict(labels)
+        self._lock = lock
+
+    def _state(self) -> dict:
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    kind = "counter"
+
+    def __init__(self, name, labels, lock):
+        super().__init__(name, labels, lock)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self.value += float(amount)
+
+    def _state(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge(_Instrument):
+    kind = "gauge"
+
+    def __init__(self, name, labels, lock):
+        super().__init__(name, labels, lock)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += float(amount)
+
+    def _state(self) -> dict:
+        return {"value": self.value}
+
+
+class Histogram(_Instrument):
+    kind = "histogram"
+
+    def __init__(self, name, labels, lock, buckets: tuple[float, ...] = DEFAULT_BUCKETS):
+        super().__init__(name, labels, lock)
+        self.bounds = tuple(sorted(float(b) for b in buckets))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        # counts[i] pairs with bounds[i]; the final slot is the +Inf bucket.
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.counts[bisect.bisect_left(self.bounds, float(value))] += 1
+            self.sum += float(value)
+            self.count += 1
+
+    def _state(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+_KINDS = {c.kind: c for c in (Counter, Gauge, Histogram)}
+
+
+class MetricsRegistry:
+    """Named, labeled instruments with JSON and Prometheus exporters."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: dict[tuple[str, tuple[tuple[str, str], ...]], _Instrument] = {}
+        self._families: dict[str, tuple[str, str]] = {}  # name -> (kind, help)
+
+    def _get(self, cls, name: str, help: str, labels: dict[str, str], **kw) -> _Instrument:
+        key = (name, tuple(sorted((str(k), str(v)) for k, v in labels.items())))
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None and family[0] != cls.kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {family[0]}, not a {cls.kind}"
+                )
+            inst = self._instruments.get(key)
+            if inst is None:
+                inst = cls(name, dict(key[1]), self._lock, **kw)
+                self._instruments[key] = inst
+                if family is None or (help and not family[1]):
+                    self._families[name] = (cls.kind, help or (family[1] if family else ""))
+            return inst
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(
+        self, name: str, help: str = "", *, buckets: tuple[float, ...] = DEFAULT_BUCKETS, **labels
+    ) -> Histogram:
+        return self._get(Histogram, name, help, labels, buckets=buckets)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    # -------------------------------------------------------------- export
+    def to_json(self) -> dict:
+        """Lossless document form (the ``<store>.metrics.json`` payload)."""
+        with self._lock:
+            metrics = [
+                {
+                    "name": inst.name,
+                    "kind": inst.kind,
+                    "help": self._families[inst.name][1],
+                    "labels": inst.labels,
+                    **inst._state(),
+                }
+                for inst in self._instruments.values()
+            ]
+        metrics.sort(key=lambda m: (m["name"], sorted(m["labels"].items())))
+        return {"format": METRICS_FORMAT, "version": METRICS_VERSION, "metrics": metrics}
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_json` output."""
+        if doc.get("format") != METRICS_FORMAT:
+            raise ValueError(f"not a metrics document (format={doc.get('format')!r})")
+        if int(doc.get("version", 1)) > METRICS_VERSION:
+            raise ValueError(
+                f"metrics version {doc['version']} is newer than supported {METRICS_VERSION}"
+            )
+        reg = cls()
+        for m in doc.get("metrics", []):
+            kind, labels = m["kind"], dict(m.get("labels", {}))
+            if kind == "counter":
+                reg.counter(m["name"], m.get("help", ""), **labels).value = float(m["value"])
+            elif kind == "gauge":
+                reg.gauge(m["name"], m.get("help", ""), **labels).value = float(m["value"])
+            elif kind == "histogram":
+                h = reg.histogram(
+                    m["name"], m.get("help", ""), buckets=tuple(m["bounds"]), **labels
+                )
+                h.counts = [int(c) for c in m["counts"]]
+                h.sum = float(m["sum"])
+                h.count = int(m["count"])
+            else:
+                raise ValueError(f"unknown metric kind {kind!r}")
+        return reg
+
+    def to_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+            families = dict(self._families)
+        by_name: dict[str, list[_Instrument]] = {}
+        for inst in instruments:
+            by_name.setdefault(inst.name, []).append(inst)
+        lines: list[str] = []
+        for name in sorted(by_name):
+            kind, help = families[name]
+            if help:
+                lines.append(f"# HELP {name} {help}")
+            lines.append(f"# TYPE {name} {kind}")
+            for inst in by_name[name]:
+                if isinstance(inst, Histogram):
+                    cumulative = 0
+                    for bound, count in zip(inst.bounds, inst.counts):
+                        cumulative += count
+                        lines.append(
+                            f"{name}_bucket{_labels(inst.labels, le=_fmt(bound))} {cumulative}"
+                        )
+                    lines.append(
+                        f"{name}_bucket{_labels(inst.labels, le='+Inf')} {inst.count}"
+                    )
+                    lines.append(f"{name}_sum{_labels(inst.labels)} {_fmt(inst.sum)}")
+                    lines.append(f"{name}_count{_labels(inst.labels)} {inst.count}")
+                else:
+                    lines.append(f"{name}{_labels(inst.labels)} {_fmt(inst.value)}")
+        return "\n".join(lines) + "\n"
+
+
+def _fmt(value: float) -> str:
+    return repr(float(value))
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _labels(labels: dict[str, str], **extra: str) -> str:
+    merged = {**labels, **extra}
+    if not merged:
+        return ""
+    body = ",".join(f'{k}="{_escape(str(v))}"' for k, v in sorted(merged.items()))
+    return "{" + body + "}"
+
+
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry (tests install a fresh one); returns it."""
+    global _registry
+    _registry = registry
+    return registry
+
+
+def load_metrics(path: str | Path) -> MetricsRegistry:
+    """Read a ``*.metrics.json`` dump back into a registry."""
+    return MetricsRegistry.from_json(json.loads(Path(path).read_text()))

@@ -1,0 +1,179 @@
+"""Per-point power/frequency sample streams, persisted as JSONL.
+
+The paper's Figures 4–5 are built from 100 ms RAPL/MSR samples, not
+end-of-run aggregates.  The closed-form simulator reports aggregates
+only, so :meth:`RunResult.sample_stream
+<repro.machine.simulator.RunResult.sample_stream>` synthesizes the
+sampler's readings from the per-segment records, and this module
+persists them next to the result store as ``<store>.samples.jsonl``:
+
+    {"kind": "header", "format": "repro-samples", ...}
+    {"algorithm": "contour", "size": 32, "cap_w": 60.0, "i": 0,
+     "t_s": 0.0, "dt_s": 0.1, "power_w": 58.9, "f_eff_ghz": 1.7, ...}
+
+:class:`SampleWriter` bounds memory with a fixed-size buffer: records
+accumulate in RAM and spill to disk whenever the buffer fills, and every
+completed stream ends with a flush + fsync so a killed sweep keeps the
+samples of every point it durably stored.  :func:`read_samples`
+tolerates the torn final line such a kill can leave.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+
+__all__ = [
+    "SAMPLES_FORMAT",
+    "SAMPLES_VERSION",
+    "SampleWriter",
+    "samples_path_for",
+    "read_samples",
+    "summarize_samples",
+]
+
+SAMPLES_FORMAT = "repro-samples"
+SAMPLES_VERSION = 1
+
+
+def samples_path_for(store_path: str | Path) -> Path:
+    """The sidecar samples file for a result-store path."""
+    return Path(store_path).with_suffix(".samples.jsonl")
+
+
+class SampleWriter:
+    """Ring-buffered, crash-tolerant JSONL sink for sample streams."""
+
+    def __init__(self, path: str | Path, *, buffer_records: int = 1024):
+        if buffer_records < 1:
+            raise ValueError("buffer_records must be positive")
+        self.path = Path(path)
+        self.buffer_records = int(buffer_records)
+        self._buf: list[str] = []
+        self._lock = threading.Lock()
+        self._fh = None
+
+    def _ensure_open(self) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fresh = not self.path.exists() or self.path.stat().st_size == 0
+            self._fh = open(self.path, "a")
+            if fresh:
+                self._fh.write(
+                    json.dumps(
+                        {"kind": "header", "format": SAMPLES_FORMAT, "version": SAMPLES_VERSION},
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+
+    def write_stream(self, *, algorithm: str, size: int, cap_w: float, samples) -> int:
+        """Persist one run point's sample stream; returns the sample count.
+
+        ``samples`` is an iterable of
+        :class:`~repro.machine.simulator.PowerSample` (or anything with
+        the same attributes).  The buffer spills whenever it fills —
+        memory stays bounded no matter how long a single stream runs —
+        and the stream ends with a durable flush.
+        """
+        n = 0
+        with self._lock:
+            for i, s in enumerate(samples):
+                record = {
+                    "algorithm": algorithm,
+                    "size": int(size),
+                    "cap_w": float(cap_w),
+                    "i": i,
+                    "t_s": s.t_s,
+                    "dt_s": s.dt_s,
+                    "power_w": s.power_w,
+                    "f_eff_ghz": s.f_eff_ghz,
+                    "instructions": s.instructions,
+                    "llc_refs": s.llc_refs,
+                    "llc_misses": s.llc_misses,
+                }
+                self._buf.append(json.dumps(record, sort_keys=True))
+                n += 1
+                if len(self._buf) >= self.buffer_records:
+                    self._spill()
+            self._spill(fsync=True)
+        return n
+
+    def _spill(self, *, fsync: bool = False) -> None:
+        if not self._buf and not fsync:
+            return
+        self._ensure_open()
+        if self._buf:
+            self._fh.write("\n".join(self._buf) + "\n")
+            self._buf.clear()
+        self._fh.flush()
+        if fsync:
+            os.fsync(self._fh.fileno())
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._buf or self._fh is not None:
+                self._spill(fsync=True)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._buf:
+                self._spill(fsync=True)
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "SampleWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def read_samples(source: str | Path) -> tuple[dict, list[dict]]:
+    """Parse a samples file into (header, records), dropping a torn tail."""
+    lines = Path(source).read_text().splitlines()
+    header: dict = {}
+    records: list[dict] = []
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+        except ValueError:
+            if i == len(lines) - 1:
+                break
+            raise ValueError(f"{source}: corrupt sample record on line {i + 1}") from None
+        if rec.get("kind") == "header":
+            if rec.get("format") != SAMPLES_FORMAT:
+                raise ValueError(f"{source} is not a samples file (format={rec.get('format')!r})")
+            header = rec
+        else:
+            records.append(rec)
+    return header, records
+
+
+def summarize_samples(records: list[dict]) -> dict[tuple[str, int, float], dict]:
+    """Per-(algorithm, size, cap) stream statistics.
+
+    ``mean_power_w`` is time-weighted (Σ P·dt / Σ dt), matching how the
+    run's aggregate ``power_w`` is defined, so the two agree for any
+    complete stream; ``rate_hz`` is the achieved sampling rate.
+    """
+    out: dict[tuple[str, int, float], dict] = {}
+    for r in records:
+        key = (r["algorithm"], int(r["size"]), float(r["cap_w"]))
+        agg = out.setdefault(key, {"n": 0, "duration_s": 0.0, "_p_dt": 0.0, "_f_dt": 0.0})
+        agg["n"] += 1
+        agg["duration_s"] += r["dt_s"]
+        agg["_p_dt"] += r["power_w"] * r["dt_s"]
+        agg["_f_dt"] += r["f_eff_ghz"] * r["dt_s"]
+    for agg in out.values():
+        dur = agg["duration_s"]
+        agg["mean_power_w"] = agg.pop("_p_dt") / dur if dur > 0 else 0.0
+        agg["mean_f_eff_ghz"] = agg.pop("_f_dt") / dur if dur > 0 else 0.0
+        agg["rate_hz"] = agg["n"] / dur if dur > 0 else 0.0
+    return out

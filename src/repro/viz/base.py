@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..data.fields import DataSet
+from ..obs.trace import span
 from ..workload import AccessPattern, InstructionMix, WorkProfile, WorkSegment
 
 __all__ = [
@@ -171,10 +172,20 @@ class Filter(ABC):
     n_worklets: float = 3.0
 
     def execute(self, dataset: DataSet) -> FilterResult:
-        """Run the algorithm on ``dataset``; return geometry + profile."""
+        """Run the algorithm on ``dataset``; return geometry + profile.
+
+        Each phase runs under a telemetry span (no-ops when no tracer is
+        configured): ``kernel`` wraps the whole execution, with
+        ``kernel-apply`` (the real algorithm) and ``kernel-profile``
+        (ledger → work profile) nested inside — a traced sweep shows
+        where each algorithm's wall time actually goes.
+        """
         counts = OpCounts()
-        output = self._apply(dataset, counts)
-        profile = self.profile_from_counts(dataset, counts)
+        with span("kernel", algorithm=self.name, n_cells=dataset.grid.n_cells):
+            with span("kernel-apply", algorithm=self.name):
+                output = self._apply(dataset, counts)
+            with span("kernel-profile", algorithm=self.name):
+                profile = self.profile_from_counts(dataset, counts)
         return FilterResult(output=output, profile=profile, counts=counts)
 
     def profile_from_counts(self, dataset: DataSet, counts: OpCounts) -> WorkProfile:

@@ -1,0 +1,142 @@
+"""End-to-end telemetry: one traced, sampled, metered sweep."""
+
+import json
+
+import pytest
+
+from repro.core import StudyConfig, SweepEngine
+from repro.obs.manifest import manifest_path_for, read_manifest
+from repro.obs.metrics import MetricsRegistry, load_metrics
+from repro.obs.samples import read_samples, samples_path_for, summarize_samples
+from repro.obs.trace import get_tracer, read_trace, summarize_trace
+
+CFG = StudyConfig(name="tele", algorithms=("threshold", "contour"), sizes=(32,))
+
+
+@pytest.fixture(scope="module")
+def traced_sweep(tmp_path_factory):
+    """One serial traced sweep with samples, metrics, store, manifest."""
+    tmp = tmp_path_factory.mktemp("telemetry")
+    store = tmp / "sweep.jsonl"
+    trace = tmp / "sweep.trace.jsonl"
+    registry = MetricsRegistry()
+    engine = SweepEngine(
+        n_cycles=2,
+        workers=0,
+        store=store,
+        trace=str(trace),
+        samples=True,
+        metrics=registry,
+    )
+    result = engine.run(CFG)
+    engine.tracer.close()
+    engine.sample_writer.close()
+    return engine, result, store, trace
+
+
+class TestTrace:
+    def test_trace_parses_with_engine_and_kernel_spans(self, traced_sweep):
+        _, _, _, trace = traced_sweep
+        header, records = read_trace(trace)
+        assert header["format"] == "repro-trace"
+        names = {r["name"] for r in records if r["kind"] == "span"}
+        # Engine spans and (serial mode) in-process kernel spans.
+        assert {"sweep", "profile-job", "price-group", "kernel"} <= names
+        summary = summarize_trace(records)
+        assert summary["profile-job"]["count"] == 2
+        assert summary["price-group"]["count"] == 2
+        assert summary["kernel"]["count"] >= 2
+
+    def test_spans_nest_under_the_sweep_root(self, traced_sweep):
+        _, _, _, trace = traced_sweep
+        _, records = read_trace(trace)
+        spans = {r["span_id"]: r for r in records if r["kind"] == "span"}
+        root = [r for r in spans.values() if r["name"] == "sweep"]
+        assert len(root) == 1
+        for r in spans.values():
+            if r["name"] == "price-group":
+                assert spans[r["parent_id"]]["name"] == "sweep"
+
+    def test_default_tracer_restored_after_run(self, traced_sweep):
+        assert get_tracer() is None
+
+
+class TestSamples:
+    def test_stream_exists_per_point_at_10hz(self, traced_sweep):
+        _, result, store, _ = traced_sweep
+        header, records = read_samples(samples_path_for(store))
+        stats = summarize_samples(records)
+        assert set(stats) == {p.key for p in result.points}
+        for agg in stats.values():
+            assert agg["rate_hz"] >= 10.0 - 1e-9
+
+    def test_stream_mean_power_matches_reported(self, traced_sweep):
+        _, result, store, _ = traced_sweep
+        stats = summarize_samples(read_samples(samples_path_for(store))[1])
+        for p in result.points:
+            agg = stats[p.key]
+            # Acceptance bar: within 1%.  Synthesis is exact, so equal.
+            assert agg["mean_power_w"] == pytest.approx(p.power_w, rel=1e-9)
+            assert agg["duration_s"] == pytest.approx(p.time_s, rel=1e-9)
+
+
+class TestManifest:
+    def test_manifest_written_next_to_store(self, traced_sweep):
+        engine, _, store, _ = traced_sweep
+        doc = read_manifest(manifest_path_for(store))
+        assert doc["config"]["name"] == "tele"
+        assert doc["config"]["algorithms"] == ["threshold", "contour"]
+        assert doc["seed"] == engine.seed
+        assert doc["fingerprint"] == engine.fingerprint()
+        assert doc["fault_plan"] is None
+        assert doc["spec"]["tdp_watts"] == engine.spec.tdp_watts
+
+
+class TestMetrics:
+    def test_counters_reflect_the_run(self, traced_sweep):
+        engine, result, _, _ = traced_sweep
+        reg = engine.metrics
+        assert reg.counter("repro_profile_jobs_total", source="executed").value == 2
+        assert reg.counter("repro_points_total", outcome="computed").value == len(
+            result.points
+        )
+        assert reg.counter("repro_rapl_decisions_total").value > 0
+        assert reg.gauge("repro_sweep_wall_seconds").value > 0
+
+    def test_metrics_dumped_next_to_store(self, traced_sweep):
+        engine, _, store, _ = traced_sweep
+        dumped = load_metrics(store.with_suffix(".metrics.json"))
+        assert dumped.to_json() == engine.metrics.to_json()
+
+    def test_prometheus_exposition(self, traced_sweep):
+        engine, _, _, _ = traced_sweep
+        text = engine.metrics.to_prometheus()
+        assert "# TYPE repro_points_total counter" in text
+        assert 'repro_points_total{outcome="computed"}' in text
+        assert "repro_sweep_wall_seconds" in text
+
+
+class TestResumeTelemetry:
+    def test_resumed_run_appends_to_the_same_trace(self, traced_sweep, tmp_path):
+        engine, result, store, trace = traced_sweep
+        again = SweepEngine(
+            n_cycles=2,
+            workers=0,
+            store=store,
+            trace=str(trace),
+            samples=True,
+            metrics=MetricsRegistry(),
+        )
+        resumed = again.run(CFG)
+        again.tracer.close()
+        assert again.stats.points_resumed == len(result.points)
+        _, records = read_trace(trace)
+        sweeps = [r for r in records if r.get("name") == "sweep"]
+        assert len(sweeps) == 2
+        assert again.metrics.counter("repro_points_total", outcome="resumed").value == len(
+            resumed.points
+        )
+
+    def test_samples_flag_without_store_rejected(self):
+        with pytest.raises(ValueError, match="needs a store"):
+            SweepEngine(samples=True)

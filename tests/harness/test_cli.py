@@ -98,3 +98,53 @@ class TestSweepCommand:
     def test_sweep_rejects_unknown_phase(self, small):
         with pytest.raises(SystemExit):
             main(["sweep", "phase9"])
+
+
+class TestTelemetryCommands:
+    def _traced_sweep(self, small):
+        store = small / "sweep.jsonl"
+        trace = small / "sweep.trace.jsonl"
+        rc = main([
+            "sweep", "phase1", "--workers", "0", "--cycles", "2",
+            "--store", str(store), "--cache", str(small / "c.json"),
+            "--trace", str(trace), "--samples",
+        ])
+        assert rc == 0
+        return store, trace
+
+    def test_sweep_writes_telemetry_artifacts(self, capsys, small):
+        store, trace = self._traced_sweep(small)
+        out = capsys.readouterr().out
+        assert "trace:" in out and "samples:" in out
+        assert trace.exists()
+        assert store.with_suffix(".samples.jsonl").exists()
+        assert store.with_suffix(".metrics.json").exists()
+        assert store.with_suffix(".manifest.json").exists()
+
+    def test_trace_command_prints_phase_breakdown(self, capsys, small):
+        _, trace = self._traced_sweep(small)
+        capsys.readouterr()
+        assert main(["trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "sweep" in out and "profile-job" in out and "price-group" in out
+        assert "phases" in out
+
+    def test_trace_command_name_filter_and_events(self, capsys, small):
+        _, trace = self._traced_sweep(small)
+        capsys.readouterr()
+        assert main(["trace", str(trace), "--name", "kernel", "--events"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel" in out
+        assert "profile-job" not in out
+
+    def test_metrics_command_prometheus_and_json(self, capsys, small):
+        store, _ = self._traced_sweep(small)
+        metrics = store.with_suffix(".metrics.json")
+        capsys.readouterr()
+        assert main(["metrics", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_points_total counter" in out
+        assert 'repro_points_total{outcome="computed"}' in out
+        assert main(["metrics", str(metrics), "--format", "json"]) == 0
+        out = capsys.readouterr().out
+        assert '"format": "repro-metrics"' in out

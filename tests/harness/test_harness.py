@@ -110,6 +110,27 @@ class TestHarnessCache:
         with pytest.raises(ValueError, match="not a profile cache"):
             ProfileCache(p)
 
+    def test_corrupt_legacy_pickle_warns_and_moves_aside(self, tmp_path, caplog):
+        import logging
+
+        legacy = tmp_path / "counts.pkl"
+        legacy.write_bytes(b"\x80\x04 definitely not a pickle")
+        with caplog.at_level(logging.WARNING, logger="repro.obs"):
+            cache = ProfileCache(legacy)
+        # Migration failed loudly: a warning fired, the unreadable file
+        # was renamed to its .corrupt sidecar, and the cache starts empty.
+        assert "profile-cache-corrupt" in caplog.text
+        assert not legacy.exists()
+        corrupt = tmp_path / "counts.pkl.corrupt"
+        assert corrupt.exists()
+        assert corrupt.read_bytes().startswith(b"\x80\x04")
+        assert len(cache) == 0
+        # The cache still works: record and reload normally.
+        cache.put("threshold", 12, {"flops": 1.0})
+        assert ProfileCache(tmp_path / "counts.json").get("threshold", 12) == {
+            "flops": 1.0
+        }
+
 
 class TestDeprecatedShim:
     def test_experiment_harness_warns_but_works(self, tmp_path):

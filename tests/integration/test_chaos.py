@@ -77,6 +77,27 @@ class TestHostilePlan:
         assert runs[0] == runs[1]
 
 
+class TestTracedChaos:
+    def test_trace_covers_all_phases(self, tmp_path):
+        from repro.obs.trace import read_trace
+
+        trace = tmp_path / "chaos.trace.jsonl"
+        rep = run_chaos(
+            CFG, get_plan("default"), store=tmp_path / "s.jsonl",
+            workers=0, n_cycles=2, trace=trace,
+        )
+        assert rep.survived
+        _, records = read_trace(trace)
+        names = {r["name"] for r in records if r["kind"] == "span"}
+        assert {
+            "chaos", "chaos-reference", "chaos-pass", "chaos-tear-store",
+            "chaos-resume", "chaos-machine-probe", "sweep",
+        } <= names
+        events = {r["name"] for r in records if r["kind"] == "event"}
+        assert "store-torn" in events
+        assert "fault-injected" in events
+
+
 class TestApiFacade:
     def test_run_chaos_accepts_names_and_reseeds(self, tmp_path):
         rep = api.run_chaos(

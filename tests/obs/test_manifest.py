@@ -1,0 +1,53 @@
+"""Run manifests: provenance next to every store."""
+
+import pytest
+
+import repro
+from repro.obs.manifest import (
+    MANIFEST_FORMAT,
+    build_manifest,
+    manifest_path_for,
+    read_manifest,
+    write_manifest,
+)
+
+
+def _manifest(**overrides):
+    kw = dict(
+        spec={"name": "bdw", "tdp_watts": 120.0},
+        config={"name": "phase1", "algorithms": ["contour"], "sizes": [32], "caps_w": [120.0]},
+        seed=7,
+        n_cycles=2,
+        dataset_kind="blobs",
+        fingerprint="abc123",
+    )
+    kw.update(overrides)
+    return build_manifest(**kw)
+
+
+def test_build_carries_provenance_and_version():
+    doc = _manifest(fault_plan="default", extra={"workers": 4})
+    assert doc["format"] == MANIFEST_FORMAT
+    assert doc["package_version"] == repro.__version__
+    assert doc["spec"]["name"] == "bdw"
+    assert doc["config"]["caps_w"] == [120.0]
+    assert doc["fingerprint"] == "abc123"
+    assert doc["fault_plan"] == "default"
+    assert doc["workers"] == 4
+    assert doc["created_unix"] > 0
+
+
+def test_write_and_read_round_trip(tmp_path):
+    path = manifest_path_for(tmp_path / "sweep.jsonl")
+    assert path.name == "sweep.manifest.json"
+    written = write_manifest(path, _manifest())
+    assert read_manifest(written) == _manifest() | {
+        "created_unix": read_manifest(written)["created_unix"]
+    }
+
+
+def test_read_rejects_foreign_document(tmp_path):
+    p = tmp_path / "m.json"
+    p.write_text('{"format": "not-a-manifest"}')
+    with pytest.raises(ValueError, match="not a run manifest"):
+        read_manifest(p)

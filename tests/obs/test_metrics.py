@@ -1,0 +1,113 @@
+"""Metrics registry: instruments, identity, and both exporters."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    METRICS_FORMAT,
+    MetricsRegistry,
+    get_registry,
+    load_metrics,
+    set_registry,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("jobs_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            MetricsRegistry().counter("jobs_total").inc(-1)
+
+    def test_gauge_sets_and_moves(self):
+        g = MetricsRegistry().gauge("wall_seconds")
+        g.set(4.2)
+        g.inc(-0.2)
+        assert g.value == pytest.approx(4.0)
+
+    def test_histogram_buckets_and_sum(self):
+        h = MetricsRegistry().histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        assert h.counts == [1, 2, 1]  # <=0.1, <=1.0, +Inf
+        assert h.count == 4
+        assert h.sum == pytest.approx(6.05)
+
+    def test_same_name_and_labels_share_identity(self):
+        reg = MetricsRegistry()
+        reg.counter("points", outcome="computed").inc()
+        reg.counter("points", outcome="computed").inc()
+        reg.counter("points", outcome="quarantined").inc()
+        assert reg.counter("points", outcome="computed").value == 2
+        assert reg.counter("points", outcome="quarantined").value == 1
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+
+class TestExporters:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_points_total", "points by outcome", outcome="computed").inc(9)
+        reg.gauge("repro_wall_seconds", "sweep wall time").set(1.25)
+        h = reg.histogram("repro_kernel_seconds", "kernel time", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        return reg
+
+    def test_json_round_trip_is_lossless(self):
+        reg = self._populated()
+        doc = reg.to_json()
+        assert doc["format"] == METRICS_FORMAT
+        back = MetricsRegistry.from_json(doc)
+        assert back.to_json() == doc
+
+    def test_json_rejects_foreign_format(self):
+        with pytest.raises(ValueError, match="not a metrics document"):
+            MetricsRegistry.from_json({"format": "nope"})
+
+    def test_load_metrics_from_file(self, tmp_path):
+        p = tmp_path / "m.metrics.json"
+        p.write_text(json.dumps(self._populated().to_json()))
+        reg = load_metrics(p)
+        assert reg.counter("repro_points_total", outcome="computed").value == 9
+
+    def test_prometheus_text_format(self):
+        text = self._populated().to_prometheus()
+        assert "# TYPE repro_points_total counter" in text
+        assert '# HELP repro_points_total points by outcome' in text
+        assert 'repro_points_total{outcome="computed"} 9.0' in text
+        assert "# TYPE repro_wall_seconds gauge" in text
+        assert "repro_wall_seconds 1.25" in text
+        # Histogram: cumulative buckets, +Inf, _sum, _count.
+        assert 'repro_kernel_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_kernel_seconds_bucket{le="1.0"} 2' in text
+        assert 'repro_kernel_seconds_bucket{le="+Inf"} 2' in text
+        assert "repro_kernel_seconds_count 2" in text
+        assert text.endswith("\n")
+
+    def test_prometheus_escapes_label_values(self):
+        reg = MetricsRegistry()
+        reg.counter("c", reason='say "hi"\nthere').inc()
+        text = reg.to_prometheus()
+        assert r'reason="say \"hi\"\nthere"' in text
+
+
+class TestDefaultRegistry:
+    def test_set_registry_swaps_the_default(self):
+        old = get_registry()
+        try:
+            fresh = set_registry(MetricsRegistry())
+            assert get_registry() is fresh
+            assert get_registry() is not old
+        finally:
+            set_registry(old)

@@ -1,0 +1,155 @@
+"""Sample streams: synthesis fidelity, the writer, and crash tolerance."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.machine.simulator import Processor
+from repro.obs.samples import (
+    SAMPLES_FORMAT,
+    SampleWriter,
+    read_samples,
+    samples_path_for,
+    summarize_samples,
+)
+from repro.viz import ALGORITHMS
+from repro.data.generators import make_dataset
+
+
+@pytest.fixture(scope="module")
+def run():
+    """One closed-form run long enough to need many 100 ms samples."""
+    result = ALGORITHMS["contour"]().execute(make_dataset(16, seed=7))
+    profile = result.profile
+    scaled_segments = [s.scaled(40) for s in profile.segments]
+    profile.segments = scaled_segments
+    return Processor().run(profile, 70.0)
+
+
+class TestSampleStream:
+    def test_rate_is_at_least_10hz(self, run):
+        samples = run.sample_stream(0.1)
+        assert len(samples) >= run.time_s / 0.1  # ceil(time/interval) samples
+        assert len(samples) / run.time_s >= 10.0 - 1e-9
+
+    def test_time_weighted_mean_matches_power(self, run):
+        samples = run.sample_stream(0.1)
+        total_dt = sum(s.dt_s for s in samples)
+        mean_w = sum(s.power_w * s.dt_s for s in samples) / total_dt
+        assert total_dt == pytest.approx(run.time_s, rel=1e-12)
+        # The acceptance bar is 1%; piecewise-constant synthesis is exact.
+        assert mean_w == pytest.approx(run.avg_power_w, rel=1e-9)
+
+    def test_counters_partition_totals(self, run):
+        samples = run.sample_stream(0.1)
+        assert sum(s.instructions for s in samples) == pytest.approx(
+            run.msr.inst_retired, rel=1e-9
+        )
+        assert sum(s.llc_misses for s in samples) == pytest.approx(
+            run.msr.llc_miss, rel=1e-9
+        )
+
+    def test_rejects_nonpositive_interval(self, run):
+        with pytest.raises(ValueError, match="positive"):
+            run.sample_stream(0.0)
+
+
+class TestSampleWriter:
+    def test_writes_header_and_round_trips(self, tmp_path, run):
+        path = tmp_path / "s.samples.jsonl"
+        with SampleWriter(path) as w:
+            n = w.write_stream(
+                algorithm="contour", size=16, cap_w=70.0, samples=run.sample_stream(0.1)
+            )
+        header, records = read_samples(path)
+        assert header["format"] == SAMPLES_FORMAT
+        assert len(records) == n
+        assert records[0]["algorithm"] == "contour"
+        assert records[0]["i"] == 0
+        assert [r["i"] for r in records] == list(range(n))
+
+    def test_small_buffer_spills_and_loses_nothing(self, tmp_path, run):
+        samples = run.sample_stream(0.1)
+        path = tmp_path / "s.samples.jsonl"
+        with SampleWriter(path, buffer_records=2) as w:
+            w.write_stream(algorithm="contour", size=16, cap_w=70.0, samples=samples)
+        assert len(read_samples(path)[1]) == len(samples)
+
+    def test_summarize_recovers_run_aggregates(self, tmp_path, run):
+        path = tmp_path / "s.samples.jsonl"
+        with SampleWriter(path) as w:
+            w.write_stream(
+                algorithm="contour", size=16, cap_w=70.0, samples=run.sample_stream(0.1)
+            )
+        stats = summarize_samples(read_samples(path)[1])
+        agg = stats[("contour", 16, 70.0)]
+        assert agg["mean_power_w"] == pytest.approx(run.avg_power_w, rel=1e-9)
+        assert agg["duration_s"] == pytest.approx(run.time_s, rel=1e-9)
+        assert agg["rate_hz"] >= 10.0 - 1e-9
+
+    def test_torn_tail_is_dropped(self, tmp_path, run):
+        path = tmp_path / "s.samples.jsonl"
+        with SampleWriter(path) as w:
+            w.write_stream(
+                algorithm="contour", size=16, cap_w=70.0, samples=run.sample_stream(0.1)
+            )
+        complete = len(read_samples(path)[1])
+        with open(path, "a") as fh:
+            fh.write('{"algorithm": "contour", "size": 16, "cap_')
+        assert len(read_samples(path)[1]) == complete
+
+    def test_rejects_nonpositive_buffer(self, tmp_path):
+        with pytest.raises(ValueError, match="positive"):
+            SampleWriter(tmp_path / "s.jsonl", buffer_records=0)
+
+    def test_samples_path_for(self):
+        assert samples_path_for("x/sweep.jsonl") == Path("x/sweep.samples.jsonl")
+
+
+# The child streams samples through the real writer (fsync per stream),
+# starts another record raw, then SIGKILLs itself mid-write — the same
+# harness shape as tests/core/test_store_crash.py.
+_WRITER = """
+import os, signal, sys
+sys.path.insert(0, {src!r})
+from repro.data.generators import make_dataset
+from repro.machine.simulator import Processor
+from repro.obs.samples import SampleWriter
+from repro.viz import ALGORITHMS
+
+result = ALGORITHMS["threshold"]().execute(make_dataset(12, seed=7))
+profile = result.profile
+profile.segments = [s.scaled(20) for s in profile.segments]
+run = Processor().run(profile, 70.0)
+w = SampleWriter({path!r})
+w.write_stream(algorithm="threshold", size=12, cap_w=70.0, samples=run.sample_stream(0.1))
+w._ensure_open()
+w._fh.write('{{"algorithm": "threshold", "size": 12, "cap')
+w._fh.flush()
+os.fsync(w._fh.fileno())
+os.kill(os.getpid(), signal.SIGKILL)
+"""
+
+
+class TestCrashSafety:
+    def test_sigkill_mid_write_keeps_flushed_streams(self, tmp_path):
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        path = tmp_path / "s.samples.jsonl"
+        script = _WRITER.format(src=src, path=str(path))
+        proc = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True
+        )
+        assert proc.returncode == -9, proc.stderr  # died by SIGKILL, not error
+        header, records = read_samples(path)
+        assert header["format"] == SAMPLES_FORMAT
+        # Every record of the completed (fsynced) stream survived; the
+        # torn tail of the in-flight record was dropped on read.
+        assert len(records) >= 1
+        assert all(r["algorithm"] == "threshold" for r in records)
+        assert [r["i"] for r in records] == list(range(len(records)))
+        last_line = path.read_text().splitlines()[-1]
+        with pytest.raises(ValueError):
+            json.loads(last_line)

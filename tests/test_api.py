@@ -30,6 +30,20 @@ class TestRunStudy:
         b = api.run_study(SMALL, n_cycles=2, workers=2)
         assert [p.to_dict() for p in a.points] == [p.to_dict() for p in b.points]
 
+    def test_trace_and_samples_passthrough(self, tmp_path):
+        from repro.obs.samples import read_samples, samples_path_for
+        from repro.obs.trace import read_trace
+
+        store = tmp_path / "store.jsonl"
+        trace = tmp_path / "run.trace.jsonl"
+        result = api.run_study(SMALL, n_cycles=2, store=store, trace=str(trace), samples=True)
+        _, records = read_trace(trace)
+        assert {"sweep", "kernel"} <= {r["name"] for r in records if r["kind"] == "span"}
+        _, samples = read_samples(samples_path_for(store))
+        assert {(r["algorithm"], r["size"], r["cap_w"]) for r in samples} == {
+            p.key for p in result.points
+        }
+
 
 class TestRoundTrip:
     def test_jsonl_roundtrip_preserves_classification(self, tmp_path):
