@@ -14,6 +14,8 @@ The package is layered bottom-up:
   invariant validator behind the quarantine gate.
 * :mod:`repro.faults` — deterministic fault injection (chaos layer) for
   the machine, engine, and store (``repro chaos`` / ``repro doctor``).
+* :mod:`repro.lint` — contract-aware static analysis (``repro lint``),
+  the zero-violation gate over the conventions listed above.
 * :mod:`repro.harness` — per-table/figure experiment drivers.
 * :mod:`repro.api` — the stable facade; start here
   (``repro.run_study`` / ``repro.load_result`` / ``repro.classify_study``).

@@ -10,6 +10,7 @@ Everything a downstream consumer needs, in a handful of calls::
     classes = repro.classify_study(later)
 
     report = repro.api.doctor("sweep.jsonl")          # invariant audit
+    gate = repro.api.lint()                           # static-analysis gate
     chaos = repro.api.run_chaos("phase1", plan="default",
                                 store="chaos.jsonl")  # fault-injection drill
 
@@ -44,6 +45,8 @@ from .core.validate import ValidationReport, validate_store
 from .faults import PLANS, ChaosReport, FaultPlan, get_plan
 from .faults import run_chaos as _run_chaos
 from .harness.experiments import DEFAULT_CACHE_PATH, TableHarness, effective_sizes
+from .lint import LintReport
+from .lint import lint_paths as _lint_paths
 
 __all__ = [
     "run_study",
@@ -55,6 +58,7 @@ __all__ = [
     "harness",
     "run_chaos",
     "doctor",
+    "lint",
     "PLANS",
     "get_plan",
 ]
@@ -220,6 +224,26 @@ def doctor(
     ``*.quarantine.jsonl`` sidecar so the main file validates clean.
     """
     return validate_store(path, spec, quarantine=quarantine)
+
+
+def lint(
+    paths=None,
+    *,
+    baseline: str | Path | None = None,
+    update_baseline: bool = False,
+    rules=None,
+) -> LintReport:
+    """Run the contract-aware static-analysis gate (``repro lint``).
+
+    Lints the given files/directories (default: the installed ``repro``
+    package) against the RPR rule set and returns a
+    :class:`~repro.lint.runner.LintReport`; ``report.ok`` is the gate.
+    ``baseline`` grandfather-lists known findings;
+    ``update_baseline=True`` rewrites it from the current findings.
+    """
+    return _lint_paths(
+        paths, baseline_path=baseline, update_baseline=update_baseline, rules=rules
+    )
 
 
 def load_result(path: str | Path) -> StudyResult:

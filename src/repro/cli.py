@@ -10,8 +10,10 @@
     python -m repro sweep phase1 --trace sweep.trace.jsonl --samples
     python -m repro chaos phase1 --plan default --workers 4
     python -m repro doctor .cache/sweep-phase1.jsonl
+    python -m repro doctor --lint                     # audit the source too
     python -m repro trace sweep.trace.jsonl
     python -m repro metrics sweep.metrics.json --format prom
+    python -m repro lint --stats                      # static-analysis gate
 
 ``sweep`` runs a phase grid through the parallel engine with a
 resumable result store: kill it mid-run and re-invoke with the same
@@ -27,6 +29,11 @@ quarantine violators.  See docs/robustness.md.
 ``trace`` and ``metrics`` read back the telemetry layer's artifacts —
 per-phase span breakdowns and counter/gauge/histogram dumps (JSON or
 Prometheus text).  See docs/observability.md.
+
+``lint`` runs the contract-aware static-analysis gate (atomic writes,
+isclose cap matching, pickle ban, layering, span balance, unit suffixes,
+locked mutation) and exits non-zero on any new finding.  See
+docs/static_analysis.md.
 """
 
 from __future__ import annotations
@@ -223,8 +230,40 @@ def cmd_chaos(args) -> int:
 
 
 def cmd_doctor(args) -> int:
-    report = api.doctor(args.store, quarantine=args.quarantine)
-    print(report.render())
+    if args.store is None and not args.lint:
+        print("doctor: nothing to check — give a store path and/or --lint", file=sys.stderr)
+        return 2
+    rc = 0
+    if args.store is not None:
+        report = api.doctor(args.store, quarantine=args.quarantine)
+        print(report.render())
+        rc = 0 if report.ok else 1
+    if args.lint:
+        from .lint import render_text
+
+        if args.store is not None:
+            print()
+        lint_report = api.lint()
+        print(render_text(lint_report))
+        rc = max(rc, 0 if lint_report.ok else 1)
+    return rc
+
+
+def cmd_lint(args) -> int:
+    from .core.atomicio import atomic_write_json
+    from .lint import render_json, render_text
+
+    report = api.lint(
+        args.paths or None,
+        baseline=args.baseline,
+        update_baseline=args.update_baseline,
+    )
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, stats=args.stats))
+    if args.report:
+        atomic_write_json(args.report, report.to_json())
     return 0 if report.ok else 1
 
 
@@ -351,9 +390,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "monotone as caps drop, rates finite and within machine bins. "
         "Exits non-zero if any point violates an invariant.",
     )
-    doctor.add_argument("store", help="store file to audit (sweep --store output)")
+    doctor.add_argument("store", nargs="?", default=None,
+                        help="store file to audit (sweep --store output)")
     doctor.add_argument("--quarantine", action="store_true",
                         help="move violating points to the *.quarantine.jsonl sidecar")
+    doctor.add_argument("--lint", action="store_true",
+                        help="also run the static-analysis gate over the repro package")
 
     trace = sub.add_parser(
         "trace",
@@ -376,6 +418,30 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("file", help="metrics file (<store>.metrics.json)")
     metrics.add_argument("--format", default="prom", choices=("prom", "json"),
                          help="output format (default: prom)")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the contract-aware static-analysis gate (exit 1 on findings)",
+        description="Machine-check the repo's coding contracts over every "
+        "source file: atomic artifact writes (RPR001), isclose cap matching "
+        "(RPR002), the pickle ban (RPR003), the import-layering map (RPR004), "
+        "balanced trace spans (RPR005), unit-suffix consistency (RPR006), and "
+        "locked shared mutation (RPR007). Exits 0 when clean, 1 on any new "
+        "finding, 2 on usage errors. See docs/static_analysis.md.",
+    )
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files/directories to lint (default: the installed repro package)")
+    lint.add_argument("--format", default="text", choices=("text", "json"),
+                      help="report format on stdout (default: text)")
+    lint.add_argument("--stats", action="store_true",
+                      help="append per-rule and per-file violation tables")
+    lint.add_argument("--baseline", default=None, metavar="PATH",
+                      help="baseline file of grandfathered findings "
+                      "(default: ./lint_baseline.json when present)")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline from the current findings")
+    lint.add_argument("--report", default=None, metavar="PATH",
+                      help="also write the JSON report to PATH (atomically)")
     return parser
 
 
@@ -387,6 +453,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "doctor":
         return cmd_doctor(args)
+    if args.command == "lint":
+        return cmd_lint(args)
     if args.command == "trace":
         return cmd_trace(args)
     if args.command == "metrics":

@@ -16,7 +16,27 @@ import os
 import tempfile
 from pathlib import Path
 
-__all__ = ["atomic_write_text", "atomic_write_json"]
+__all__ = ["atomic_write_text", "atomic_write_bytes", "atomic_write_json"]
+
+
+def _atomic_write(path: str | Path, payload, mode: str) -> None:
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, mode) as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def atomic_write_text(path: str | Path, text: str) -> None:
@@ -27,23 +47,12 @@ def atomic_write_text(path: str | Path, text: str) -> None:
     before the rename, so a crash leaves either the previous file or the
     new one — never a truncated hybrid.
     """
-    target = Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(
-        dir=target.parent, prefix=target.name + ".", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "w") as fh:
-            fh.write(text)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp_name, target)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
+    _atomic_write(path, text, "w")
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Binary sibling of :func:`atomic_write_text` (images, archives)."""
+    _atomic_write(path, data, "wb")
 
 
 def atomic_write_json(path: str | Path, doc: dict, *, indent: int | None = None) -> None:

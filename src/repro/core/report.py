@@ -8,6 +8,7 @@ Figs. 2–6 so benchmarks and tests can assert their shape.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from .metrics import SLOWDOWN_THRESHOLD, first_slowdown_cap
@@ -27,6 +28,13 @@ def _caps_desc(points: list[RunPoint]) -> list[float]:
     return sorted({p.cap_w for p in points}, reverse=True)
 
 
+def _is_red(cap_w: float, red: float | None) -> bool:
+    """Is this cap the first ≥10 %-slowdown cap?  Tolerant matching:
+    caps are floats that may have round-tripped through CSV/JSON, so a
+    fractional cap (62.5 W) must still earn its ``*``."""
+    return red is not None and math.isclose(cap_w, red, rel_tol=1e-9, abs_tol=1e-6)
+
+
 def render_table1(result: StudyResult, *, algorithm: str = "contour", size: int = 128) -> str:
     """Table I: the Phase-1 contour sweep (P, T, F and their ratios)."""
     pts = sorted(result.select(algorithm=algorithm, size=size), key=lambda p: -p.cap_w)
@@ -38,7 +46,7 @@ def render_table1(result: StudyResult, *, algorithm: str = "contour", size: int 
         f"{'P':>6} {'Pratio':>7} {'T':>10} {'Tratio':>7} {'F':>9} {'Fratio':>7}",
     ]
     for p in pts:
-        mark = "*" if red is not None and p.cap_w == red else " "
+        mark = "*" if _is_red(p.cap_w, red) else " "
         lines.append(
             f"{p.cap_w:>5.0f}W {p.pratio:>6.1f}X {p.time_s:>9.3f}s "
             f"{p.tratio:>6.2f}X{mark} {p.freq_ghz:>6.2f}GHz {p.fratio:>6.2f}X"
@@ -65,7 +73,7 @@ def render_slowdown_table(result: StudyResult, *, size: int) -> str:
         f_line = f"{'':>8s} {'Fratio':>5s}"
         for c in caps:
             p = rows[c]
-            mark = "*" if red is not None and c == red else " "
+            mark = "*" if _is_red(c, red) else " "
             t_line += f"{p.tratio:>7.2f}X{mark}"[:9].rjust(9)
             f_line += f"{p.fratio:>8.2f}X"
         lines.append(t_line)

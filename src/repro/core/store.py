@@ -33,6 +33,7 @@ import os
 from pathlib import Path
 from typing import Iterator
 
+from .atomicio import atomic_write_text
 from .runner import RunPoint, StudyResult
 
 __all__ = ["ResultStore", "StoreMismatchError", "sweep_fingerprint"]
@@ -122,9 +123,10 @@ class ResultStore:
             "fingerprint": self.fingerprint,
             "meta": self.meta,
         }
-        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic replace: a header rewrite (reset/remove) interrupted
+        # half-way must not destroy the store it was compacting.
         body = "".join(p.to_jsonl() + "\n" for p in self._points.values())
-        self.path.write_text(json.dumps(header, sort_keys=True) + "\n" + body)
+        atomic_write_text(self.path, json.dumps(header, sort_keys=True) + "\n" + body)
 
     # -------------------------------------------------------------- contents
     def append(self, point: RunPoint) -> None:

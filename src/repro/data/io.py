@@ -23,14 +23,20 @@ __all__ = ["save_obj", "load_obj", "save_dataset", "load_dataset"]
 
 
 def save_obj(mesh: TriangleMesh, path: str | Path) -> Path:
-    """Write a triangle mesh as Wavefront OBJ (1-based indices)."""
+    """Write a triangle mesh as Wavefront OBJ (1-based indices).
+
+    Written atomically so a killed export never leaves a half-mesh that
+    a viewer would silently open.
+    """
+    from ..core.atomicio import atomic_write_text  # deferred: data sits below core
+
     path = Path(path)
     lines: list[str] = ["# written by repro (IPDPS'19 reproduction)"]
     for p in mesh.points:
         lines.append(f"v {p[0]:.9g} {p[1]:.9g} {p[2]:.9g}")
     for t in mesh.triangles:
         lines.append(f"f {t[0] + 1} {t[1] + 1} {t[2] + 1}")
-    path.write_text("\n".join(lines) + "\n")
+    atomic_write_text(path, "\n".join(lines) + "\n")
     return path
 
 

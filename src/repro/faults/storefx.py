@@ -51,7 +51,7 @@ def corrupt_header(path: str | Path) -> None:
     if not data:
         raise ValueError(f"{p} is empty; nothing to corrupt")
     data[0:1] = b"X"
-    p.write_bytes(bytes(data))
+    p.write_bytes(bytes(data))  # repro: lint-ignore[RPR001]: injects disk corruption on purpose — atomicity would defeat the fault
 
 
 def flip_fingerprint(path: str | Path) -> str:
@@ -66,5 +66,5 @@ def flip_fingerprint(path: str | Path) -> str:
     header = json.loads(lines[0])
     header["fingerprint"] = "deadbeef" * 2
     lines[0] = json.dumps(header, sort_keys=True) + "\n"
-    p.write_text("".join(lines))
+    p.write_text("".join(lines))  # repro: lint-ignore[RPR001]: simulates a foreign store landing in place of ours
     return header["fingerprint"]

@@ -1,0 +1,132 @@
+"""Suppression pragmas: justified, audited escape hatches.
+
+A finding can be silenced in place::
+
+    p.write_bytes(data)  # repro: lint-ignore[RPR001]: intentional damage under test
+
+The justification text after the colon is *required* — an unjustified
+pragma does not suppress anything and is itself reported (as
+``RPR000``), as are pragmas naming unknown rules and pragmas that no
+longer suppress any finding (stale suppressions otherwise outlive the
+code they excused).  A pragma on its own line applies to the next line;
+a trailing pragma applies to its own line.
+
+Comments are found with :mod:`tokenize`, so pragma-shaped text inside
+string literals and docstrings (like the example above) never
+activates.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from .findings import PRAGMA_CODE, Finding
+
+__all__ = ["Pragma", "scan_pragmas", "apply_pragmas"]
+
+_PRAGMA_RE = re.compile(
+    r"repro:\s*lint-ignore\[(?P<codes>[^\]]*)\]\s*(?::\s*(?P<why>\S.*?))?\s*$"
+)
+
+
+@dataclass
+class Pragma:
+    """One ``lint-ignore`` comment, bound to the line it suppresses."""
+
+    comment_line: int  # where the comment physically sits (1-based)
+    target_line: int  # the line whose findings it suppresses
+    codes: tuple[str, ...]
+    justification: str
+    used: bool = field(default=False, compare=False)
+
+
+def scan_pragmas(source: str) -> list[Pragma]:
+    """All ``lint-ignore`` pragmas in ``source``, in file order."""
+    out: list[Pragma] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out  # unparseable files already fail lint with a parse finding
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        m = _PRAGMA_RE.search(tok.string)
+        if m is None:
+            continue
+        codes = tuple(c.strip() for c in m.group("codes").split(",") if c.strip())
+        standalone = tok.line[: tok.start[1]].strip() == ""
+        line = tok.start[0]
+        out.append(
+            Pragma(
+                comment_line=line,
+                target_line=line + 1 if standalone else line,
+                codes=codes,
+                justification=(m.group("why") or "").strip(),
+            )
+        )
+    return out
+
+
+def apply_pragmas(
+    findings: list[Finding],
+    pragmas: list[Pragma],
+    *,
+    relpath: str,
+    known_codes: set[str] | frozenset[str],
+) -> tuple[list[Finding], list[Finding]]:
+    """Split ``findings`` into (kept, suppressed) and audit the pragmas.
+
+    Only a *justified* pragma naming the finding's rule on the finding's
+    line suppresses it.  Framework findings (``RPR000``) are appended to
+    ``kept`` for every defective pragma: missing justification, unknown
+    rule code, or a justified pragma that suppressed nothing.
+    """
+    by_line: dict[int, list[Pragma]] = {}
+    for p in pragmas:
+        by_line.setdefault(p.target_line, []).append(p)
+
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for f in findings:
+        hit = None
+        if f.code != PRAGMA_CODE:
+            for p in by_line.get(f.line, []):
+                if f.code in p.codes and p.justification:
+                    hit = p
+                    break
+        if hit is not None:
+            hit.used = True
+            suppressed.append(f)
+        else:
+            kept.append(f)
+
+    for p in pragmas:
+        unknown = [c for c in p.codes if c not in known_codes and c != PRAGMA_CODE]
+        if not p.codes:
+            message = "pragma lists no rule codes"
+        elif unknown:
+            message = f"pragma names unknown rule(s) {', '.join(unknown)}"
+        elif PRAGMA_CODE in p.codes:
+            message = f"{PRAGMA_CODE} findings cannot be suppressed"
+        elif not p.justification:
+            message = (
+                "pragma has no justification — write "
+                "'# repro: lint-ignore[RPRnnn]: why this is safe'"
+            )
+        elif not p.used:
+            message = "stale pragma: it suppresses no finding on its line"
+        else:
+            continue
+        kept.append(
+            Finding(
+                code=PRAGMA_CODE,
+                path=relpath,
+                line=p.comment_line,
+                col=0,
+                message=f"lint-pragma: {message}",
+            )
+        )
+    return kept, suppressed

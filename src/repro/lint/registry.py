@@ -1,0 +1,121 @@
+"""Rule registry and per-file analysis context.
+
+Every rule is a small class with a ``code`` (``RPRnnn``), a kebab-case
+``name``, a one-line ``summary``, and a ``check(ctx)`` generator that
+yields :class:`~repro.lint.findings.Finding` objects for one parsed
+file.  Registration is declarative::
+
+    @register
+    class MyRule(Rule):
+        code = "RPR042"
+        name = "my-contract"
+        summary = "what the contract forbids"
+
+        def check(self, ctx):
+            ...
+
+The registry is populated once at import time by :mod:`repro.lint.rules`
+and read-only afterwards, so no locking is needed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .findings import Finding
+
+__all__ = ["FileContext", "Rule", "register", "all_rules", "get_rule", "rule_codes"]
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one source file."""
+
+    relpath: str  # "repro/core/report.py" (posix, package-parent relative)
+    module: str  # "repro.core.report"
+    source: str
+    tree: ast.Module
+    is_package: bool = False  # True for __init__.py files
+    lines: list[str] = field(default_factory=list)
+
+    @classmethod
+    def from_source(
+        cls,
+        source: str,
+        *,
+        relpath: str = "<memory>",
+        module: str = "<module>",
+        is_package: bool = False,
+    ) -> "FileContext":
+        """Parse ``source`` into a context (raises SyntaxError on bad input)."""
+        return cls(
+            relpath=relpath,
+            module=module,
+            source=source,
+            tree=ast.parse(source, filename=relpath),
+            is_package=is_package,
+            lines=source.splitlines(),
+        )
+
+    def line(self, lineno: int) -> str:
+        """The raw source text of a 1-based line (empty when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class Rule:
+    """Base class for one contract check; subclasses set the class attrs."""
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        """A finding anchored at ``node``'s location in ``ctx``'s file."""
+        return Finding(
+            code=self.code,
+            path=ctx.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=f"{self.name}: {message}",
+        )
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding one instance of ``cls`` to the registry."""
+    rule = cls()
+    if not rule.code or not rule.name:
+        raise ValueError(f"rule {cls.__name__} must define code and name")
+    if rule.code in _RULES:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    _RULES[rule.code] = rule
+    return cls
+
+
+def all_rules(codes: Iterable[str] | None = None) -> tuple[Rule, ...]:
+    """Registered rules sorted by code; ``codes`` selects a subset."""
+    if codes is None:
+        return tuple(_RULES[c] for c in sorted(_RULES))
+    out = []
+    for code in codes:
+        if code not in _RULES:
+            raise KeyError(f"unknown lint rule {code!r}; known: {sorted(_RULES)}")
+        out.append(_RULES[code])
+    return tuple(sorted(out, key=lambda r: r.code))
+
+
+def get_rule(code: str) -> Rule:
+    return _RULES[code]
+
+
+def rule_codes() -> tuple[str, ...]:
+    return tuple(sorted(_RULES))

@@ -1,0 +1,33 @@
+"""The project-specific rule set; importing this package registers all rules.
+
+======== ============================== ==========================================
+code     name                           contract
+======== ============================== ==========================================
+RPR001   non-atomic-write               artifact writes go through ``atomicio``
+RPR002   float-cap-equality             ``math.isclose`` on caps/frequencies
+RPR003   pickle-ban                     pickle only in the legacy-migration shim
+RPR004   layering                       imports point down the module-guide layers
+RPR005   unbalanced-span                spans are entered with ``with``
+RPR006   unit-suffix                    no raw arithmetic across unit suffixes
+RPR007   naked-thread-shared-mutation   shared registries mutate under a lock
+======== ============================== ==========================================
+
+(``RPR000`` is reserved for the framework itself: parse errors and
+defective suppression pragmas.)
+"""
+
+from .concurrency import NakedSharedMutation, UnbalancedSpan
+from .io_rules import NonAtomicWrite, PickleBan
+from .layering import LAYERS, LayeringContract
+from .numeric_rules import FloatCapEquality, UnitSuffixMix
+
+__all__ = [
+    "NonAtomicWrite",
+    "FloatCapEquality",
+    "PickleBan",
+    "LayeringContract",
+    "UnbalancedSpan",
+    "UnitSuffixMix",
+    "NakedSharedMutation",
+    "LAYERS",
+]

@@ -1,0 +1,192 @@
+"""Concurrency contracts: spans always close, shared registries lock.
+
+**RPR005 unbalanced-span** — a ``span(...)``/``tracer.span(...)`` call
+is a context manager; evaluating it as a bare expression statement
+creates a span that is never entered, so it never records and (worse)
+reads as if the phase were being timed.  Spans must be used as
+``with span(...):`` (returning or assigning one for a later ``with``
+is fine and common — the engine's ``_span`` helper does exactly that).
+
+**RPR007 naked-thread-shared-mutation** — ``repro.obs`` and
+``repro.core`` are exercised from multi-threaded engines and pool
+callbacks, so mutating a *module-level* dict/list/set registry there
+without holding a lock is a data race waiting for a bigger machine.
+The rule tracks names bound at module scope to mutable literals (or
+``dict()``/``list()``/``set()``/``defaultdict()``/...) and flags
+subscript assignment, ``del``, and mutating method calls on them from
+function bodies that are not lexically inside a ``with <...lock...>:``
+block.  Module-scope mutation (table building at import time) is
+single-threaded and exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..registry import FileContext, Rule, register
+
+__all__ = ["UnbalancedSpan", "NakedSharedMutation"]
+
+#: Where the span primitive itself lives (its own tests of the no-op
+#: path legitimately evaluate spans outside ``with``).
+SPAN_IMPL = frozenset({"repro/obs/trace.py"})
+
+_MUTABLE_CTORS = frozenset(
+    {"dict", "list", "set", "defaultdict", "OrderedDict", "Counter", "deque"}
+)
+_MUTATORS = frozenset(
+    {
+        "append",
+        "add",
+        "update",
+        "insert",
+        "extend",
+        "remove",
+        "discard",
+        "pop",
+        "popitem",
+        "clear",
+        "setdefault",
+    }
+)
+
+#: Subpackages whose module-level state is shared across threads.
+_SHARED_STATE_PACKAGES = ("obs", "core")
+
+
+@register
+class UnbalancedSpan(Rule):
+    code = "RPR005"
+    name = "unbalanced-span"
+    summary = "span(...) discarded instead of entered via `with`"
+
+    def check(self, ctx: FileContext):
+        if ctx.relpath in SPAN_IMPL:
+            return
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Expr) and isinstance(node.value, ast.Call)):
+                continue
+            func = node.value.func
+            callee = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if callee == "span":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "span(...) evaluated and discarded — it never enters, so the "
+                    "phase is silently untimed; write `with span(...):`",
+                )
+
+
+def _module_level_mutables(tree: ast.Module) -> set[str]:
+    """Names bound at module scope to mutable containers."""
+    out: set[str] = set()
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        mutable = isinstance(
+            value, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp)
+        ) or (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in _MUTABLE_CTORS
+        )
+        if not mutable:
+            continue
+        for t in targets:
+            if isinstance(t, ast.Name):
+                out.add(t.id)
+    return out
+
+
+def _holds_lock(node: ast.With | ast.AsyncWith) -> bool:
+    return any("lock" in ast.unparse(item.context_expr).lower() for item in node.items)
+
+
+@register
+class NakedSharedMutation(Rule):
+    code = "RPR007"
+    name = "naked-thread-shared-mutation"
+    summary = "module-level registry mutated outside a held lock"
+
+    def check(self, ctx: FileContext):
+        parts = ctx.module.split(".")
+        if len(parts) < 2 or parts[0] != "repro" or parts[1] not in _SHARED_STATE_PACKAGES:
+            return
+        mutables = _module_level_mutables(ctx.tree)
+        if not mutables:
+            return
+        functions = [
+            n
+            for n in ast.walk(ctx.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for fn in functions:
+            yield from self._scan_body(ctx, fn.body, mutables, locked=False)
+
+    def _scan_body(self, ctx, body, mutables: set[str], *, locked: bool):
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue  # nested defs run later, outside this lock scope
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                yield from self._scan_body(
+                    ctx, node.body, mutables, locked=locked or _holds_lock(node)
+                )
+                continue
+            if not locked:
+                yield from self._flag_mutations(ctx, node, mutables)
+            for child_body in (
+                getattr(node, "body", None),
+                getattr(node, "orelse", None),
+                getattr(node, "finalbody", None),
+            ):
+                if child_body:
+                    yield from self._scan_body(ctx, child_body, mutables, locked=locked)
+            for handler in getattr(node, "handlers", ()) or ():
+                yield from self._scan_body(ctx, handler.body, mutables, locked=locked)
+
+    def _flag_mutations(self, ctx, stmt: ast.stmt, mutables: set[str]):
+        def name_of(expr: ast.expr) -> str | None:
+            return expr.id if isinstance(expr, ast.Name) else None
+
+        if isinstance(stmt, (ast.Assign, ast.AugAssign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for t in targets:
+                if isinstance(t, ast.Subscript) and name_of(t.value) in mutables:
+                    yield self.finding(
+                        ctx,
+                        stmt,
+                        f"writes {name_of(t.value)}[...] without holding a lock; "
+                        "wrap the mutation in `with <lock>:`",
+                    )
+        elif isinstance(stmt, ast.Delete):
+            for t in stmt.targets:
+                if isinstance(t, ast.Subscript) and name_of(t.value) in mutables:
+                    yield self.finding(
+                        ctx,
+                        stmt,
+                        f"deletes from {name_of(t.value)} without holding a lock; "
+                        "wrap the mutation in `with <lock>:`",
+                    )
+        elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            func = stmt.value.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATORS
+                and name_of(func.value) in mutables
+            ):
+                yield self.finding(
+                    ctx,
+                    stmt,
+                    f"{name_of(func.value)}.{func.attr}(...) mutates shared "
+                    "module state without holding a lock; wrap it in `with <lock>:`",
+                )

@@ -1,0 +1,130 @@
+"""Numeric contracts: cap matching by tolerance, units never mixed raw.
+
+**RPR002 float-cap-equality** — power caps and frequencies are floats
+that round-trip through JSON/CSV and arithmetic; PR 4 fixed a bug where
+fractional caps (62.5 W) were dropped by exact comparison after a
+lossy format round-trip.  ``==``/``!=`` on a name that *is* ``cap_w``
+or carries a watt/hertz suffix is therefore banned in favor of
+``math.isclose`` (identity tests like ``is None`` stay fine).
+
+**RPR006 unit-suffix** — the codebase encodes physical units in name
+suffixes (``_w`` watts, ``_j`` joules, ``_s``/``_ms`` seconds,
+``_hz``/``_ghz`` hertz).  Adding, subtracting, or order-comparing two
+names with *different* unit suffixes is dimensionally meaningless —
+exactly the silent unit bug that corrupts power studies (cf. the
+LULESH energy-analysis literature).  Multiplication and division are
+allowed: they form legitimate derived quantities (J/s, W·s).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..registry import FileContext, Rule, register
+
+__all__ = ["FloatCapEquality", "UnitSuffixMix"]
+
+_CAP_SUFFIXES = ("_w", "_hz", "_ghz")
+
+#: Longest suffix first so ``_ghz`` is not misread as ``_hz``.
+_UNIT_SUFFIXES: tuple[tuple[str, str], ...] = (
+    ("_ghz", "GHz"),
+    ("_hz", "Hz"),
+    ("_ms", "ms"),
+    ("_ns", "ns"),
+    ("_us", "us"),
+    ("_s", "s"),
+    ("_w", "W"),
+    ("_j", "J"),
+)
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    """The identifier a comparison operand goes by, if it has one."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _unit_of(name: str | None) -> str | None:
+    if not name:
+        return None
+    lowered = name.lower()
+    for suffix, unit in _UNIT_SUFFIXES:
+        if lowered.endswith(suffix) and len(lowered) > len(suffix):
+            return unit
+    return None
+
+
+def _is_cap_like(name: str | None) -> bool:
+    if not name:
+        return False
+    lowered = name.lower()
+    return lowered == "cap_w" or any(lowered.endswith(s) for s in _CAP_SUFFIXES)
+
+
+@register
+class FloatCapEquality(Rule):
+    code = "RPR002"
+    name = "float-cap-equality"
+    summary = "==/!= on cap/frequency floats; use math.isclose"
+
+    def check(self, ctx: FileContext):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            culprit = next(
+                (n for n in map(_terminal_name, operands) if _is_cap_like(n)), None
+            )
+            if culprit is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"exact ==/!= on {culprit!r} drops fractional caps (62.5 W) "
+                    "after format round-trips; use math.isclose(...)",
+                )
+
+
+@register
+class UnitSuffixMix(Rule):
+    code = "RPR006"
+    name = "unit-suffix"
+    summary = "adding/comparing names with different unit suffixes"
+
+    _ORDER_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+    def check(self, ctx: FileContext):
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                left = _unit_of(_terminal_name(node.left))
+                right = _unit_of(_terminal_name(node.right))
+                if left and right and left != right:
+                    op = "+" if isinstance(node.op, ast.Add) else "-"
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"'{op}' mixes {left} and {right} quantities without a "
+                        "conversion; convert one side explicitly first",
+                    )
+            elif isinstance(node, ast.Compare):
+                pairs = zip(
+                    [node.left, *node.comparators[:-1]], node.comparators, node.ops
+                )
+                for lhs, rhs, op in pairs:
+                    if not isinstance(op, self._ORDER_OPS):
+                        continue
+                    left = _unit_of(_terminal_name(lhs))
+                    right = _unit_of(_terminal_name(rhs))
+                    if left and right and left != right:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"comparison mixes {left} and {right} quantities; "
+                            "convert one side explicitly first",
+                        )
+                        break

@@ -1,0 +1,243 @@
+"""The lint driver: walk sources, run rules, apply pragmas and baseline.
+
+:func:`lint_paths` is the whole pipeline behind ``repro lint``:
+
+1. collect ``*.py`` files under the given paths (default: the installed
+   ``repro`` package — i.e. ``src/repro`` in a checkout);
+2. parse each file and run every registered rule over it (a file that
+   does not parse yields a single ``RPR000`` finding);
+3. apply ``# repro: lint-ignore[...]`` pragmas (justified suppressions
+   drop findings; defective pragmas *add* findings);
+4. partition survivors against the baseline (new vs. grandfathered) and
+   note expired baseline entries;
+5. record the outcome in the :mod:`repro.obs.metrics` registry so a
+   sweep's metrics dump carries the static-analysis health of the code
+   that produced it.
+
+:func:`check_source` is the single-file slice of the same pipeline for
+tests and tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..obs.metrics import MetricsRegistry, get_registry
+from .baseline import DEFAULT_BASELINE_PATH, Baseline
+from .findings import PRAGMA_CODE, Finding
+from .pragmas import apply_pragmas, scan_pragmas
+from .registry import FileContext, all_rules, rule_codes
+
+__all__ = ["LintReport", "lint_paths", "check_source", "module_name_for"]
+
+#: The package this linter ships to guard.
+DEFAULT_TARGET = Path(__file__).resolve().parents[1]
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run (``repro lint``'s return value)."""
+
+    findings: list[Finding] = field(default_factory=list)  # new, gate-breaking
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)  # justified pragmas
+    expired: set[str] = field(default_factory=set)  # paid-off baseline entries
+    files_scanned: int = 0
+    rules_run: tuple[str, ...] = ()
+    baseline_path: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts_by_rule(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for f in self.findings:
+            out[f.code] = out.get(f.code, 0) + 1
+        return dict(sorted(out.items()))
+
+    def counts_by_file(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for f in self.findings:
+            out[f.path] = out.get(f.path, 0) + 1
+        return dict(sorted(out.items(), key=lambda kv: (-kv[1], kv[0])))
+
+    def to_json(self) -> dict:
+        return {
+            "format": "repro-lint-report",
+            "version": 1,
+            "ok": self.ok,
+            "files_scanned": self.files_scanned,
+            "rules_run": list(self.rules_run),
+            "baseline_path": self.baseline_path,
+            "findings": [f.to_dict() for f in self.findings],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "expired_baseline_entries": sorted(self.expired),
+            "stats": {"by_rule": self.counts_by_rule(), "by_file": self.counts_by_file()},
+        }
+
+
+def module_name_for(path: Path) -> tuple[str, bool, Path]:
+    """Resolve a file to (dotted module, is_package, package parent dir).
+
+    Walks up through ``__init__.py`` markers, so ``src/repro/core/x.py``
+    maps to ``repro.core.x`` with parent ``src`` no matter where the
+    linter is invoked from.
+    """
+    path = path.resolve()
+    is_package = path.name == "__init__.py"
+    parts: list[str] = [] if is_package else [path.stem]
+    d = path.parent
+    while (d / "__init__.py").exists():
+        parts.insert(0, d.name)
+        d = d.parent
+    if not parts:
+        parts = [path.stem]
+    return ".".join(parts), is_package, d
+
+
+def _iter_py_files(target: Path) -> list[Path]:
+    if target.is_file():
+        return [target] if target.suffix == ".py" else []
+    return sorted(p for p in target.rglob("*.py") if "__pycache__" not in p.parts)
+
+
+def _lint_source(
+    source: str,
+    *,
+    relpath: str,
+    module: str,
+    is_package: bool,
+    rules,
+) -> tuple[list[Finding], list[Finding], FileContext | None]:
+    """(kept findings, suppressed findings, context) for one file."""
+    try:
+        ctx = FileContext.from_source(
+            source, relpath=relpath, module=module, is_package=is_package
+        )
+    except SyntaxError as exc:
+        finding = Finding(
+            code=PRAGMA_CODE,
+            path=relpath,
+            line=exc.lineno or 1,
+            col=exc.offset or 0,
+            message=f"parse-error: {exc.msg}",
+        )
+        return [finding], [], None
+    raw: list[Finding] = []
+    for rule in rules:
+        raw.extend(rule.check(ctx))
+    kept, suppressed = apply_pragmas(
+        raw,
+        scan_pragmas(source),
+        relpath=relpath,
+        known_codes=frozenset(r.code for r in rules),
+    )
+    return kept, suppressed, ctx
+
+
+def check_source(
+    source: str,
+    *,
+    relpath: str = "<memory>",
+    module: str = "<module>",
+    is_package: bool = False,
+    rules=None,
+) -> list[Finding]:
+    """Lint one source string; returns the findings that survive pragmas."""
+    selected = all_rules(rules)
+    kept, _suppressed, _ctx = _lint_source(
+        source, relpath=relpath, module=module, is_package=is_package, rules=selected
+    )
+    return sorted(kept, key=lambda f: f.sort_key)
+
+
+def lint_paths(
+    paths=None,
+    *,
+    baseline_path: str | Path | None = None,
+    update_baseline: bool = False,
+    rules=None,
+    metrics: MetricsRegistry | None = None,
+) -> LintReport:
+    """Lint files/directories (default: the ``repro`` package). See module doc."""
+    targets = [Path(p) for p in paths] if paths else [DEFAULT_TARGET]
+    files: list[Path] = []
+    seen: set[Path] = set()
+    for t in targets:
+        for f in _iter_py_files(t):
+            r = f.resolve()
+            if r not in seen:
+                seen.add(r)
+                files.append(r)
+
+    selected = all_rules(rules)
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    contexts: dict[str, FileContext] = {}
+    for f in sorted(files):
+        module, is_package, root = module_name_for(f)
+        relpath = f.relative_to(root).as_posix()
+        k, s, ctx = _lint_source(
+            f.read_text(),
+            relpath=relpath,
+            module=module,
+            is_package=is_package,
+            rules=selected,
+        )
+        kept.extend(k)
+        suppressed.extend(s)
+        if ctx is not None:
+            contexts[relpath] = ctx
+
+    kept.sort(key=lambda f: f.sort_key)
+    suppressed.sort(key=lambda f: f.sort_key)
+
+    def line_lookup(finding: Finding) -> str:
+        ctx = contexts.get(finding.path)
+        return ctx.line(finding.line) if ctx is not None else ""
+
+    resolved_baseline: Path | None
+    if baseline_path is not None:
+        resolved_baseline = Path(baseline_path)
+    else:
+        resolved_baseline = DEFAULT_BASELINE_PATH if DEFAULT_BASELINE_PATH.exists() else None
+
+    if resolved_baseline is not None:
+        baseline = Baseline.load(resolved_baseline)
+        if update_baseline:
+            baseline = Baseline.from_findings(kept, line_lookup, path=resolved_baseline)
+            baseline.save()
+        new, baselined, expired = baseline.partition(kept, line_lookup)
+    else:
+        new, baselined, expired = kept, [], set()
+
+    report = LintReport(
+        findings=new,
+        baselined=baselined,
+        suppressed=suppressed,
+        expired=expired,
+        files_scanned=len(files),
+        rules_run=tuple(r.code for r in selected),
+        baseline_path=str(resolved_baseline) if resolved_baseline is not None else None,
+    )
+    _record_metrics(report, metrics if metrics is not None else get_registry())
+    return report
+
+
+def _record_metrics(report: LintReport, registry: MetricsRegistry) -> None:
+    """Expose the lint outcome through the observability layer."""
+    registry.counter("repro_lint_runs_total", "lint invocations in this process").inc()
+    registry.gauge(
+        "repro_lint_files_scanned", "files scanned by the most recent lint run"
+    ).set(report.files_scanned)
+    by_rule = report.counts_by_rule()
+    for code in (*report.rules_run, PRAGMA_CODE):
+        registry.gauge(
+            "repro_lint_findings", "open static-analysis findings by rule", rule=code
+        ).set(by_rule.get(code, 0))
+    registry.gauge(
+        "repro_lint_baselined", "findings grandfathered by the baseline"
+    ).set(len(report.baselined))

@@ -134,10 +134,16 @@ class Image:
         return self.rgb.shape[0]
 
     def save_ppm(self, path: str | Path) -> Path:
-        """Write a binary PPM (no imaging library needed)."""
+        """Write a binary PPM (no imaging library needed).
+
+        Written atomically: a gallery build killed mid-frame must not
+        leave a torn image that a viewer (or a diff against a golden
+        render) would half-read.
+        """
+        from ..core.atomicio import atomic_write_bytes  # deferred: viz sits below core
+
         path = Path(path)
         data = (np.clip(self.rgb, 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)
-        with open(path, "wb") as fh:
-            fh.write(f"P6\n{self.width} {self.height}\n255\n".encode())
-            fh.write(data.tobytes())
+        header = f"P6\n{self.width} {self.height}\n255\n".encode()
+        atomic_write_bytes(path, header + data.tobytes())
         return path

@@ -1,0 +1,26 @@
+"""RPR001 fixture: truncating writes that can tear a document."""
+
+from pathlib import Path
+
+
+def dump_text(path, text):
+    with open(path, "w") as fh:
+        fh.write(text)
+
+
+def dump_bytes(path, data):
+    with open(path, mode="wb") as fh:
+        fh.write(data)
+
+
+def dump_exclusive(path, text):
+    with open(path, "x") as fh:
+        fh.write(text)
+
+
+def dump_path(path: Path, text):
+    path.write_text(text)
+
+
+def dump_path_bytes(path: Path, data):
+    path.write_bytes(data)

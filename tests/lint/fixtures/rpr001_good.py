@@ -1,0 +1,24 @@
+"""RPR001 fixture: sanctioned I/O — reads, fsynced appends, tail repair."""
+
+import os
+
+
+def read(path):
+    with open(path) as fh:
+        return fh.read()
+
+
+def append_record(path, line):
+    with open(path, "a") as fh:
+        fh.write(line + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def truncate_tail(path, keep):
+    with open(path, "r+b") as fh:
+        fh.truncate(keep)
+
+
+def open_dynamic(path, mode):
+    return open(path, mode)

@@ -1,0 +1,12 @@
+"""RPR002 fixture: exact equality on cap/frequency floats."""
+
+
+def point_at(points, cap_w):
+    for p in points:
+        if p.cap_w == cap_w:
+            return p
+    return None
+
+
+def frequency_changed(old_hz, new_hz):
+    return old_hz != new_hz

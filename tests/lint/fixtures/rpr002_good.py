@@ -1,0 +1,18 @@
+"""RPR002 fixture: tolerant cap matching and non-cap comparisons."""
+
+import math
+
+
+def point_at(points, cap_w):
+    for p in points:
+        if math.isclose(p.cap_w, cap_w, rel_tol=1e-9, abs_tol=1e-6):
+            return p
+    return None
+
+
+def cap_is_unset(cap_w):
+    return cap_w is None
+
+
+def count_matches(n_points):
+    return n_points == 3

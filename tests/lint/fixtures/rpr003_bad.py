@@ -1,0 +1,12 @@
+"""RPR003 fixture: pickle outside the legacy-migration shim."""
+
+import pickle
+from pickle import dumps
+
+
+def roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+def freeze(obj):
+    return dumps(obj)

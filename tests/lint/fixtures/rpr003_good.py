@@ -1,0 +1,7 @@
+"""RPR003 fixture: versioned JSON, the sanctioned persistence format."""
+
+import json
+
+
+def roundtrip(obj):
+    return json.loads(json.dumps(obj))

@@ -1,0 +1,6 @@
+"""RPR004 fixture: upward and facade imports (lint as repro.viz.fake)."""
+
+import repro.api as api
+from repro.core import engine
+
+__all__ = ["api", "engine"]

@@ -1,0 +1,13 @@
+"""RPR004 fixture: downward and deferred imports (lint as repro.viz.fake)."""
+
+import math
+
+from repro.data import fields
+
+__all__ = ["math", "fields", "render"]
+
+
+def render(dataset, path):
+    from repro.core.atomicio import atomic_write_text  # deferred: crosses up at call time
+
+    atomic_write_text(path, str(dataset))

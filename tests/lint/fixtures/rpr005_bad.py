@@ -1,0 +1,7 @@
+"""RPR005 fixture: spans evaluated and discarded (never entered)."""
+
+
+def timed_phase(tracer, span):
+    tracer.span("extract")
+    span("render")
+    return None

@@ -1,0 +1,11 @@
+"""RPR005 fixture: spans entered via `with`, or kept for a later `with`."""
+
+
+def timed_phase(tracer, work):
+    with tracer.span("extract"):
+        work()
+
+
+def make_span(tracer):
+    handle = tracer.span("later")
+    return handle

@@ -1,0 +1,9 @@
+"""RPR006 fixture: arithmetic/comparison across different unit suffixes."""
+
+
+def total_time(time_s, latency_ms):
+    return time_s + latency_ms
+
+
+def overran(elapsed_s, budget_ms):
+    return elapsed_s > budget_ms

@@ -1,0 +1,13 @@
+"""RPR006 fixture: consistent units, explicit conversions, derived units."""
+
+
+def total_time(time_s, latency_ms):
+    return time_s + latency_ms / 1000.0
+
+
+def elapsed(start_s, end_s):
+    return end_s - start_s
+
+
+def energy(power_w, time_s):
+    return power_w * time_s

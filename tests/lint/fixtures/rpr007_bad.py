@@ -1,0 +1,14 @@
+"""RPR007 fixture: module registry mutated lock-free (lint as repro.core.fake)."""
+
+import threading
+
+_REGISTRY = {}
+_LOCK = threading.Lock()
+
+
+def register(name, value):
+    _REGISTRY[name] = value
+
+
+def forget(name):
+    _REGISTRY.pop(name, None)

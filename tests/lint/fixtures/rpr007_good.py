@@ -1,0 +1,23 @@
+"""RPR007 fixture: registry mutation under its lock (lint as repro.core.fake)."""
+
+import threading
+
+_REGISTRY = {}
+_LOCK = threading.Lock()
+
+# Import-time table building is single-threaded and exempt.
+_REGISTRY["default"] = None
+
+
+def register(name, value):
+    with _LOCK:
+        _REGISTRY[name] = value
+
+
+def forget(name):
+    with _LOCK:
+        _REGISTRY.pop(name, None)
+
+
+def snapshot():
+    return dict(_REGISTRY)

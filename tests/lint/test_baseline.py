@@ -1,0 +1,102 @@
+"""Baseline semantics: grandfather, still-block-new, expire, burn down."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint import Baseline, Finding, finding_fingerprint, lint_paths
+from repro.obs.metrics import MetricsRegistry
+
+BAD = "def f(path, text):\n    path.write_text(text)\n"
+BAD_TWICE = BAD + "\n\ndef g(path, data):\n    path.write_bytes(data)\n"
+CLEAN = "def f():\n    return 1\n"
+
+
+def _lint(tmp_path, **kw):
+    return lint_paths([tmp_path], metrics=MetricsRegistry(), **kw)
+
+
+def test_no_baseline_means_findings_block(tmp_path):
+    (tmp_path / "mod.py").write_text(BAD)
+    report = _lint(tmp_path, baseline_path=tmp_path / "absent.json")
+    assert not report.ok
+    assert [f.code for f in report.findings] == ["RPR001"]
+
+
+def test_update_baseline_grandfathers_current_findings(tmp_path):
+    (tmp_path / "mod.py").write_text(BAD)
+    baseline = tmp_path / "baseline.json"
+
+    first = _lint(tmp_path, baseline_path=baseline, update_baseline=True)
+    assert first.ok and len(first.baselined) == 1
+
+    doc = json.loads(baseline.read_text())
+    assert doc["format"] == "repro-lint-baseline"
+    assert len(doc["entries"]) == 1
+
+    again = _lint(tmp_path, baseline_path=baseline)
+    assert again.ok and len(again.baselined) == 1 and not again.expired
+
+
+def test_baseline_does_not_hide_new_findings(tmp_path):
+    (tmp_path / "mod.py").write_text(BAD)
+    baseline = tmp_path / "baseline.json"
+    _lint(tmp_path, baseline_path=baseline, update_baseline=True)
+
+    (tmp_path / "mod.py").write_text(BAD_TWICE)
+    report = _lint(tmp_path, baseline_path=baseline)
+    assert not report.ok
+    assert len(report.baselined) == 1  # the old one stays grandfathered
+    assert len(report.findings) == 1  # the new one blocks
+    assert "write_bytes" in report.findings[0].message
+
+
+def test_fixed_violation_expires_its_entry(tmp_path):
+    (tmp_path / "mod.py").write_text(BAD)
+    baseline = tmp_path / "baseline.json"
+    _lint(tmp_path, baseline_path=baseline, update_baseline=True)
+
+    (tmp_path / "mod.py").write_text(CLEAN)
+    report = _lint(tmp_path, baseline_path=baseline)
+    assert report.ok  # expiry warns, it does not block
+    assert len(report.expired) == 1
+
+    _lint(tmp_path, baseline_path=baseline, update_baseline=True)
+    assert json.loads(baseline.read_text())["entries"] == []
+
+
+def test_fingerprint_survives_line_shifts(tmp_path):
+    (tmp_path / "mod.py").write_text(BAD)
+    baseline = tmp_path / "baseline.json"
+    _lint(tmp_path, baseline_path=baseline, update_baseline=True)
+
+    # Push the violation down the file; the fingerprint must still match.
+    (tmp_path / "mod.py").write_text("import os\n\nX = 1\n\n\n" + BAD)
+    report = _lint(tmp_path, baseline_path=baseline)
+    assert report.ok and len(report.baselined) == 1 and not report.expired
+
+
+def test_fingerprint_is_line_number_independent():
+    a = Finding(code="RPR001", path="m.py", line=3, col=4, message="x")
+    b = Finding(code="RPR001", path="m.py", line=40, col=4, message="x")
+    assert finding_fingerprint(a, "  p.write_text(t)") == finding_fingerprint(
+        b, "p.write_text(t)"  # whitespace-normalized too
+    )
+
+
+def test_identical_lines_get_distinct_occurrences():
+    f = Finding(code="RPR001", path="m.py", line=3, col=4, message="x")
+    assert finding_fingerprint(f, "p.write_text(t)", 0) != finding_fingerprint(
+        f, "p.write_text(t)", 1
+    )
+
+
+def test_baseline_rejects_foreign_format(tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text(json.dumps({"format": "something-else", "entries": []}))
+    try:
+        Baseline.load(bad)
+    except ValueError as exc:
+        assert "not a lint baseline" in str(exc)
+    else:
+        raise AssertionError("foreign format should be rejected")

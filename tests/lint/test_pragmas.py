@@ -1,0 +1,86 @@
+"""Pragma semantics: justified suppression, audited abuse, docstring inertness."""
+
+from __future__ import annotations
+
+from repro.lint import check_source
+
+_VIOLATION = 'path.write_text(text)'
+
+
+def _codes(findings):
+    return [f.code for f in findings]
+
+
+def test_justified_trailing_pragma_suppresses():
+    src = f"def f(path, text):\n    {_VIOLATION}  # repro: lint-ignore[RPR001]: fixture damage on purpose\n"
+    assert check_source(src) == []
+
+
+def test_justified_standalone_pragma_covers_next_line():
+    src = (
+        "def f(path, text):\n"
+        "    # repro: lint-ignore[RPR001]: fixture damage on purpose\n"
+        f"    {_VIOLATION}\n"
+    )
+    assert check_source(src) == []
+
+
+def test_unjustified_pragma_suppresses_nothing_and_is_flagged():
+    src = f"def f(path, text):\n    {_VIOLATION}  # repro: lint-ignore[RPR001]\n"
+    findings = check_source(src)
+    assert sorted(_codes(findings)) == ["RPR000", "RPR001"]
+    assert any("no justification" in f.message for f in findings)
+
+
+def test_pragma_for_wrong_rule_does_not_suppress():
+    src = f"def f(path, text):\n    {_VIOLATION}  # repro: lint-ignore[RPR003]: wrong rule\n"
+    findings = check_source(src)
+    # The RPR001 finding survives and the pragma is stale (suppressed nothing).
+    assert sorted(_codes(findings)) == ["RPR000", "RPR001"]
+    assert any("stale" in f.message for f in findings)
+
+
+def test_unknown_rule_code_is_flagged():
+    src = "x = 1  # repro: lint-ignore[RPR999]: no such rule\n"
+    findings = check_source(src)
+    assert _codes(findings) == ["RPR000"]
+    assert "unknown rule" in findings[0].message
+
+
+def test_empty_code_list_is_flagged():
+    src = "x = 1  # repro: lint-ignore[]: why even\n"
+    findings = check_source(src)
+    assert _codes(findings) == ["RPR000"]
+    assert "no rule codes" in findings[0].message
+
+
+def test_framework_findings_cannot_be_suppressed():
+    src = "x = 1  # repro: lint-ignore[RPR000]: nice try\n"
+    findings = check_source(src)
+    assert _codes(findings) == ["RPR000"]
+    assert "cannot be suppressed" in findings[0].message
+
+
+def test_stale_pragma_is_flagged():
+    src = "x = 1  # repro: lint-ignore[RPR001]: nothing here to excuse\n"
+    findings = check_source(src)
+    assert _codes(findings) == ["RPR000"]
+    assert "stale" in findings[0].message
+
+
+def test_pragma_text_in_docstring_is_inert():
+    src = (
+        '"""Example: x  # repro: lint-ignore[RPR001]: docstring only."""\n'
+        "x = 1\n"
+    )
+    assert check_source(src) == []
+
+
+def test_one_pragma_may_cover_multiple_rules():
+    src = (
+        "import pickle\n"
+        "def f(path, obj):\n"
+        "    path.write_text(pickle.dumps(obj))  "
+        "# repro: lint-ignore[RPR001, RPR003]: exercising both escapes\n"
+    )
+    assert check_source(src) == []
