@@ -25,7 +25,16 @@ __version__ = "1.1.0"
 
 from .workload import AccessPattern, InstructionMix, WorkProfile, WorkSegment
 from . import api
-from .api import classify_study, load_result, regenerate_tables, run_study
+from .api import (
+    AdviseRequest,
+    AdviseResponse,
+    StudyRequest,
+    advise,
+    classify_study,
+    load_result,
+    regenerate_tables,
+    run_study,
+)
 
 __all__ = [
     "__version__",
@@ -35,6 +44,10 @@ __all__ = [
     "WorkSegment",
     "api",
     "run_study",
+    "advise",
+    "StudyRequest",
+    "AdviseRequest",
+    "AdviseResponse",
     "load_result",
     "classify_study",
     "regenerate_tables",

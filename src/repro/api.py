@@ -27,12 +27,18 @@ kept stable across refactors.  Study phases can be named by string
 from __future__ import annotations
 
 import json
+import threading
+import warnings
+from dataclasses import dataclass, fields
 from pathlib import Path
 
+from .core.advisor import PowerAdvisor
 from .core.classify import Classification, classify_result
 from .core.engine import SweepEngine
+from .core.metrics import SLOWDOWN_THRESHOLD
+from .core.pricing import LedgerCache
 from .core.profiles import ProfileCache
-from .core.runner import DEFAULT_VIZ_CYCLES, StudyResult
+from .core.runner import DEFAULT_VIZ_CYCLES, RunPoint, StudyResult
 from .core.store import ResultStore
 from .core.study import (
     ALGORITHM_NAMES,
@@ -47,8 +53,14 @@ from .faults import run_chaos as _run_chaos
 from .harness.experiments import DEFAULT_CACHE_PATH, TableHarness, effective_sizes
 from .lint import LintReport
 from .lint import lint_paths as _lint_paths
+from .machine.presets import ALL_PRESETS
 
 __all__ = [
+    "StudyRequest",
+    "AdviseRequest",
+    "AdviseResponse",
+    "advise",
+    "advisor",
     "run_study",
     "load_result",
     "classify_study",
@@ -133,23 +145,45 @@ def sweep_engine(
     )
 
 
+@dataclass(frozen=True)
+class StudyRequest:
+    """Everything :func:`run_study` needs, as one typed value.
+
+    The facade's kwarg list grew one telemetry/robustness feature at a
+    time; this request object consolidates it so call sites can build,
+    store, and pass sweep configurations as data.  Field semantics are
+    unchanged from the historical keywords (see :func:`sweep_engine`).
+    """
+
+    config: StudyConfig | str = "phase2"
+    workers: int | None = 0
+    store: ResultStore | str | Path | None = None
+    resume: bool = True
+    cache: str | Path | None = None
+    spec: object = None
+    dataset_kind: str = "blobs"
+    n_cycles: int = DEFAULT_VIZ_CYCLES
+    seed: int = 7
+    progress: object = None
+    trace: object = None
+    samples: object = None
+    sample_interval_s: float = 0.1
+
+
+_STUDY_REQUEST_KEYS = frozenset(
+    f.name for f in fields(StudyRequest) if f.name != "config"
+)
+
+
 def run_study(
-    config: StudyConfig | str = "phase2",
-    *,
-    workers: int | None = 0,
-    store: ResultStore | str | Path | None = None,
-    resume: bool = True,
-    cache: str | Path | None = None,
-    spec=None,
-    dataset_kind: str = "blobs",
-    n_cycles: int = DEFAULT_VIZ_CYCLES,
-    seed: int = 7,
-    progress=None,
-    trace=None,
-    samples=None,
-    sample_interval_s: float = 0.1,
+    config: StudyRequest | StudyConfig | str = "phase2", **kwargs
 ) -> StudyResult:
     """Run a study sweep and return its points.
+
+    The typed form takes a single :class:`StudyRequest`::
+
+        repro.run_study(StudyRequest(config="phase3", workers=8,
+                                     store="sweep.jsonl"))
 
     ``workers`` > 1 fans profile executions out across processes;
     ``store`` makes the sweep resumable (see
@@ -158,21 +192,256 @@ def run_study(
     the telemetry layer (:mod:`repro.obs`): spans + events to a trace
     file, and a per-point power/frequency sample stream next to the
     store.
+
+    .. deprecated:: 1.2
+        The grown keyword list (``run_study("phase3", workers=8, ...)``)
+        still works but emits :class:`DeprecationWarning`; pass a
+        :class:`StudyRequest` instead.
     """
+    if isinstance(config, StudyRequest):
+        if kwargs:
+            raise TypeError(
+                "run_study(StudyRequest, ...) takes no extra keywords; "
+                f"got {sorted(kwargs)}"
+            )
+        request = config
+    else:
+        unknown = set(kwargs) - _STUDY_REQUEST_KEYS
+        if unknown:
+            raise TypeError(
+                f"run_study() got unexpected keyword argument(s) {sorted(unknown)}"
+            )
+        if kwargs:
+            warnings.warn(
+                "run_study(config, workers=..., store=..., ...) keywords are "
+                "deprecated; pass a repro.api.StudyRequest instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        request = StudyRequest(config=config, **kwargs)
     engine = sweep_engine(
-        workers=workers,
-        store=store,
-        cache=cache,
-        spec=spec,
-        dataset_kind=dataset_kind,
-        n_cycles=n_cycles,
-        seed=seed,
-        progress=progress,
-        trace=trace,
-        samples=samples,
-        sample_interval_s=sample_interval_s,
+        workers=request.workers,
+        store=request.store,
+        cache=request.cache,
+        spec=request.spec,
+        dataset_kind=request.dataset_kind,
+        n_cycles=request.n_cycles,
+        seed=request.seed,
+        progress=request.progress,
+        trace=request.trace,
+        samples=request.samples,
+        sample_interval_s=request.sample_interval_s,
     )
-    return engine.run(resolve_config(config), resume=resume)
+    return engine.run(resolve_config(request.config), resume=request.resume)
+
+
+# --------------------------------------------------------------------- advise
+@dataclass(frozen=True)
+class AdviseRequest:
+    """One pricing query: algorithm + size, optionally a cap to price.
+
+    ``cap_w=None`` prices the *recommended* (deepest tolerable) cap;
+    ``machine`` names a preset from
+    :data:`repro.machine.presets.ALL_PRESETS`.
+    """
+
+    algorithm: str
+    size: int
+    cap_w: float | None = None
+    tolerance: float = SLOWDOWN_THRESHOLD
+    machine: str = "broadwell"
+
+    def to_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "size": self.size,
+            "cap_w": self.cap_w,
+            "tolerance": self.tolerance,
+            "machine": self.machine,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "AdviseRequest":
+        known = {f.name for f in fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown advise request field(s) {sorted(unknown)}")
+        if "algorithm" not in d or "size" not in d:
+            raise ValueError("advise request needs 'algorithm' and 'size'")
+        out = dict(d)
+        out["algorithm"] = str(out["algorithm"])
+        out["size"] = int(out["size"])
+        if out.get("cap_w") is not None:
+            out["cap_w"] = float(out["cap_w"])
+        if "tolerance" in out:
+            out["tolerance"] = float(out["tolerance"])
+        if "machine" in out:
+            out["machine"] = str(out["machine"])
+        return cls(**out)
+
+
+@dataclass(frozen=True)
+class AdviseResponse:
+    """A pricing query's answer: the priced point plus the recommendation."""
+
+    algorithm: str
+    size: int
+    machine: str
+    cap_w: float                 # the cap the point below is priced at
+    recommended_cap_w: float     # deepest cap within the slowdown tolerance
+    predicted_time_s: float
+    predicted_energy_j: float
+    predicted_power_w: float
+    predicted_tratio: float
+    power_saved_w: float         # headroom released vs. the TDP baseline
+    tolerance: float
+    cache_hit: bool              # False when this query executed the algorithm
+    latency_s: float
+    point: RunPoint              # full-fidelity measurements at cap_w
+
+    def to_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "size": self.size,
+            "machine": self.machine,
+            "cap_w": self.cap_w,
+            "recommended_cap_w": self.recommended_cap_w,
+            "predicted_time_s": self.predicted_time_s,
+            "predicted_energy_j": self.predicted_energy_j,
+            "predicted_power_w": self.predicted_power_w,
+            "predicted_tratio": self.predicted_tratio,
+            "power_saved_w": self.power_saved_w,
+            "tolerance": self.tolerance,
+            "cache_hit": self.cache_hit,
+            "latency_s": self.latency_s,
+            "point": self.point.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "AdviseResponse":
+        return cls(
+            algorithm=str(d["algorithm"]),
+            size=int(d["size"]),
+            machine=str(d["machine"]),
+            cap_w=float(d["cap_w"]),
+            recommended_cap_w=float(d["recommended_cap_w"]),
+            predicted_time_s=float(d["predicted_time_s"]),
+            predicted_energy_j=float(d["predicted_energy_j"]),
+            predicted_power_w=float(d["predicted_power_w"]),
+            predicted_tratio=float(d["predicted_tratio"]),
+            power_saved_w=float(d["power_saved_w"]),
+            tolerance=float(d["tolerance"]),
+            cache_hit=bool(d["cache_hit"]),
+            latency_s=float(d["latency_s"]),
+            point=RunPoint.from_dict(d["point"]),
+        )
+
+
+def advisor(
+    *,
+    machine: str = "broadwell",
+    cache: LedgerCache | str | Path | None = None,
+    dataset_kind: str = "blobs",
+    seed: int = 7,
+    n_cycles: int = DEFAULT_VIZ_CYCLES,
+    tolerance: float = SLOWDOWN_THRESHOLD,
+) -> PowerAdvisor:
+    """A configured :class:`~repro.core.advisor.PowerAdvisor`.
+
+    The facade's construction point for the advise service: ``machine``
+    names a preset, ``cache`` a content-addressed ledger cache (path or
+    instance; None keeps it in memory).
+    """
+    if machine not in ALL_PRESETS:
+        raise ValueError(
+            f"unknown machine preset {machine!r}; expected one of {sorted(ALL_PRESETS)}"
+        )
+    return PowerAdvisor(
+        ALL_PRESETS[machine],
+        cache=cache,
+        dataset_kind=dataset_kind,
+        seed=seed,
+        n_cycles=n_cycles,
+        tolerance=tolerance,
+    )
+
+
+#: Process-wide advisors for the zero-setup ``api.advise()`` path, one
+#: per (machine, cache) pair so repeat queries stay warm.
+_ADVISORS: dict[tuple[str, str | None], PowerAdvisor] = {}
+_ADVISORS_LOCK = threading.Lock()
+
+
+def _shared_advisor(machine: str, cache: str | Path | None) -> PowerAdvisor:
+    key = (machine, str(cache) if cache is not None else None)
+    with _ADVISORS_LOCK:
+        adv = _ADVISORS.get(key)
+        if adv is None:
+            adv = advisor(machine=machine, cache=cache)
+            _ADVISORS[key] = adv
+        return adv
+
+
+def advise(
+    request: AdviseRequest | dict | None = None,
+    *,
+    advisor: PowerAdvisor | None = None,
+    cache: str | Path | None = None,
+    **kwargs,
+) -> AdviseResponse:
+    """Answer one pricing query: "what does X at S cost under cap C?"
+
+    Typed form::
+
+        repro.api.advise(AdviseRequest(algorithm="contour", size=128))
+
+    Keyword convenience (equivalent, not deprecated)::
+
+        repro.api.advise(algorithm="contour", size=128, cap_w=60.0)
+
+    With no explicit ``advisor``, a process-wide advisor per (machine,
+    cache) pair serves the query, so repeated calls stay warm.  The
+    first query for an (algorithm, size) executes the real algorithm
+    once; every later one reprices its cached ledger closed-form.
+    """
+    if request is None:
+        request = AdviseRequest(**kwargs)
+    elif kwargs:
+        raise TypeError(
+            f"advise(request, ...) takes no extra keywords; got {sorted(kwargs)}"
+        )
+    if isinstance(request, dict):
+        request = AdviseRequest.from_dict(request)
+    if request.machine not in ALL_PRESETS:
+        raise ValueError(
+            f"unknown machine preset {request.machine!r}; "
+            f"expected one of {sorted(ALL_PRESETS)}"
+        )
+    adv = advisor if advisor is not None else _shared_advisor(request.machine, cache)
+    advice = adv.advise(
+        request.algorithm,
+        request.size,
+        cap_w=request.cap_w,
+        tolerance=request.tolerance,
+    )
+    point = advice.point
+    rec = advice.recommendation
+    return AdviseResponse(
+        algorithm=request.algorithm,
+        size=int(request.size),
+        machine=request.machine,
+        cap_w=point.cap_w,
+        recommended_cap_w=rec.cap_w,
+        predicted_time_s=point.time_s,
+        predicted_energy_j=point.energy_j,
+        predicted_power_w=point.power_w,
+        predicted_tratio=point.tratio,
+        power_saved_w=rec.power_saved_w,
+        tolerance=request.tolerance,
+        cache_hit=advice.cache_hit,
+        latency_s=advice.latency_s,
+        point=point,
+    )
 
 
 def run_chaos(

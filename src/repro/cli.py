@@ -8,6 +8,8 @@
     python -m repro all --csv results/  # everything, with CSV artifacts
     python -m repro sweep phase3 --workers 8 --store sweep.jsonl
     python -m repro sweep phase1 --trace sweep.trace.jsonl --samples
+    python -m repro advise contour 128 --cap 60          # price one query
+    python -m repro advise --serve < queries.jsonl       # JSONL query loop
     python -m repro chaos phase1 --plan default --workers 4
     python -m repro doctor .cache/sweep-phase1.jsonl
     python -m repro doctor --lint                     # audit the source too
@@ -56,6 +58,7 @@ from .core import (
 )
 from .core.runner import DEFAULT_VIZ_CYCLES
 from .core.study import ALGORITHM_NAMES
+from .machine.presets import ALL_PRESETS
 from .harness import DEFAULT_CACHE_PATH, TableHarness, effective_sizes, result_to_csv, series_to_csv
 
 __all__ = ["main"]
@@ -267,6 +270,75 @@ def cmd_lint(args) -> int:
     return 0 if report.ok else 1
 
 
+def _render_advise(resp) -> str:
+    lines = [
+        f"{resp.algorithm}@{resp.size}^3 on {resp.machine} "
+        f"({'ledger cache hit' if resp.cache_hit else 'profiled this query'}, "
+        f"{resp.latency_s * 1e3:.2f} ms)",
+        f"  priced cap:      {resp.cap_w:g} W",
+        f"  recommended cap: {resp.recommended_cap_w:g} W "
+        f"(tolerance {resp.tolerance:.0%}, saves {resp.power_saved_w:.1f} W)",
+        f"  predicted: {resp.predicted_time_s:.3f} s, "
+        f"{resp.predicted_energy_j:.1f} J, {resp.predicted_power_w:.1f} W, "
+        f"tratio {resp.predicted_tratio:.3f}",
+    ]
+    return "\n".join(lines)
+
+
+def cmd_advise(args) -> int:
+    import json as _json
+
+    advisors: dict[str, object] = {}
+
+    def advisor_for(machine: str):
+        if machine not in advisors:
+            advisors[machine] = api.advisor(
+                machine=machine, cache=args.cache or None, n_cycles=args.cycles
+            )
+        return advisors[machine]
+
+    if args.serve:
+        # One JSON request per stdin line, one JSON response line back
+        # (see docs/pricing_service.md for the protocol).  An optional
+        # "id" field is echoed verbatim so callers can pipeline queries.
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            req_id = None
+            try:
+                doc = _json.loads(line)
+                if not isinstance(doc, dict):
+                    raise ValueError("advise request must be a JSON object")
+                req_id = doc.pop("id", None)
+                request = api.AdviseRequest.from_dict(doc)
+                resp = api.advise(request, advisor=advisor_for(request.machine))
+                out = {"ok": True, **resp.to_dict()}
+            except Exception as exc:  # protocol boundary: report, keep serving
+                out = {"ok": False, "error": str(exc)}
+            if req_id is not None:
+                out["id"] = req_id
+            print(_json.dumps(out, sort_keys=True), flush=True)
+        return 0
+
+    if args.algorithm is None or args.size is None:
+        print("advise: need ALGORITHM and SIZE (or --serve)", file=sys.stderr)
+        return 2
+    request = api.AdviseRequest(
+        algorithm=args.algorithm,
+        size=args.size,
+        cap_w=args.cap,
+        tolerance=args.tolerance,
+        machine=args.machine,
+    )
+    resp = api.advise(request, advisor=advisor_for(args.machine))
+    if args.json:
+        print(_json.dumps(resp.to_dict(), sort_keys=True))
+    else:
+        print(_render_advise(resp))
+    return 0
+
+
 def cmd_trace(args) -> int:
     from .obs.trace import read_trace, render_summary, summarize_trace
 
@@ -383,6 +455,37 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--trace", default=None, metavar="PATH",
                        help="write a span/event trace of all five chaos phases")
 
+    advise = sub.add_parser(
+        "advise",
+        help="price an algorithm under a cap from the ledger cache (or --serve)",
+        description="Hot-path pricing queries: the first query per "
+        "(algorithm, size, machine) executes the real algorithm once to "
+        "record its op-count ledger; every later query reprices the cached "
+        "ledger closed-form in microseconds. --serve reads one JSON request "
+        "per stdin line and writes one JSON response line "
+        "(see docs/pricing_service.md).",
+    )
+    advise.add_argument("algorithm", nargs="?", default=None, choices=list(ALGORITHM_NAMES),
+                        help="visualization algorithm to price")
+    advise.add_argument("size", nargs="?", type=int, default=None,
+                        help="dataset size in cells per axis (e.g. 128)")
+    advise.add_argument("--cap", type=float, default=None, metavar="W",
+                        help="price this cap (default: the recommended cap)")
+    advise.add_argument("--tolerance", type=float, default=0.10, metavar="FRAC",
+                        help="slowdown tolerance for the recommendation (default: 0.10)")
+    advise.add_argument("--machine", default="broadwell",
+                        choices=sorted(ALL_PRESETS),
+                        help="machine preset to price on (default: broadwell)")
+    advise.add_argument("--cache", default=str(Path(".cache") / "advise-ledgers.json"),
+                        metavar="PATH",
+                        help="content-addressed ledger cache ('' to keep in memory)")
+    advise.add_argument("--cycles", type=int, default=DEFAULT_VIZ_CYCLES,
+                        help="visualization cycles per measurement")
+    advise.add_argument("--serve", action="store_true",
+                        help="JSONL loop: one JSON request per stdin line")
+    advise.add_argument("--json", action="store_true",
+                        help="print the single-query response as JSON")
+
     doctor = sub.add_parser(
         "doctor",
         help="validate an existing store against the physical invariants",
@@ -459,6 +562,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_trace(args)
     if args.command == "metrics":
         return cmd_metrics(args)
+    if args.command == "advise":
+        return cmd_advise(args)
     if args.command == "chaos":
         return cmd_chaos(args)
     if args.command == "sweep":

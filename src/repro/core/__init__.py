@@ -1,7 +1,14 @@
 """The study itself: sweeps, metrics, classification, recommendations."""
 
-from .advisor import CapRecommendation, recommend_cap, recommend_split
+from .advisor import Advice, CapRecommendation, PowerAdvisor, recommend_cap, recommend_split
 from .atomicio import atomic_write_json, atomic_write_text
+from .pricing import (
+    BatchRepricer,
+    LedgerCache,
+    dataset_fingerprint,
+    ledger_key,
+    machine_spec_hash,
+)
 from .benchtrack import BenchTracker, time_kernel
 from .classify import Classification, PowerClass, classify, classify_result
 from .engine import EngineStats, ProfileJob, SweepEngine, SweepError
@@ -72,6 +79,13 @@ __all__ = [
     "CapRecommendation",
     "recommend_cap",
     "recommend_split",
+    "Advice",
+    "PowerAdvisor",
+    "LedgerCache",
+    "BatchRepricer",
+    "machine_spec_hash",
+    "dataset_fingerprint",
+    "ledger_key",
     "ClassPrediction",
     "predict_class",
     "predicted_cap",

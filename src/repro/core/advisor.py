@@ -8,17 +8,50 @@ The paper's two use cases (§VII):
 2. *In situ* under a node budget — split power between simulation and
    visualization phases (:func:`recommend_split`, which drives
    :mod:`repro.insitu.budget`).
+
+:class:`PowerAdvisor` packages the first use case as a hot-path query
+service: op-count ledgers come from the content-addressed
+:class:`~repro.core.pricing.LedgerCache` (recorded once per
+(algorithm, size, dataset, machine) by executing the real algorithm),
+caps are priced through the vectorized
+:class:`~repro.core.pricing.BatchRepricer`, and every query is
+instrumented with :mod:`repro.obs` spans and metrics — the backing for
+``repro advise`` and :func:`repro.api.advise`.
 """
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import dataclass
+from pathlib import Path
 
+from ..machine.spec import BROADWELL_E5_2695V4, MachineSpec
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.trace import span
 from .classify import Classification
 from .metrics import SLOWDOWN_THRESHOLD
-from .runner import RunPoint
+from .pricing import BatchRepricer, LedgerCache, dataset_fingerprint, machine_spec_hash
+from .profiles import run_algorithm_ledger
+from .runner import DEFAULT_VIZ_CYCLES, RunPoint
+from .study import POWER_CAPS_W
 
-__all__ = ["CapRecommendation", "recommend_cap", "recommend_split"]
+__all__ = [
+    "CapRecommendation",
+    "Advice",
+    "PowerAdvisor",
+    "ADVISE_LATENCY_BUCKETS",
+    "recommend_cap",
+    "recommend_split",
+]
+
+#: Sub-millisecond-oriented latency buckets for the advise histogram —
+#: warm queries land in the 10–500 µs bands, cold (profile-executing)
+#: queries in the right tail.
+ADVISE_LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0,
+)
 
 
 @dataclass(frozen=True)
@@ -39,7 +72,11 @@ def recommend_cap(
 
     For power-opportunity algorithms this lands at or near the RAPL
     floor (the paper: "requesting the lowest amount of power will leave
-    more for other power-hungry applications").
+    more for other power-hungry applications").  With no tolerable
+    point at all, the TDP baseline itself is returned.  Ties on the cap
+    resolve deterministically to the earliest point in input order
+    (``min`` is stable), so repeated queries over the same grid always
+    agree.
     """
     if not points:
         raise ValueError("need at least one run point")
@@ -67,8 +104,11 @@ def recommend_split(
     Power-opportunity visualizations get the floor; power-sensitive
     ones get their natural draw (capping them below it costs time
     proportionally, which the runtime should decide explicitly).  The
-    simulation receives the rest of the budget headroom, clamped to
-    the RAPL range.
+    simulation receives the *remaining* budget headroom, clamped to the
+    RAPL range — whenever the budget is feasible (at least two floors),
+    the pair is guaranteed to respect it: the visualization is trimmed
+    so the simulation keeps at least the floor, and the simulation
+    never receives more than the headroom the visualization left.
     """
     if node_budget_w <= 0:
         raise ValueError("budget must be positive")
@@ -76,6 +116,151 @@ def recommend_split(
         viz_cap = floor_w
     else:
         viz_cap = min(max(classification.natural_power_w, floor_w), tdp_w)
+    if node_budget_w >= 2.0 * floor_w:
+        # Feasible: leave the simulation at least a floor's worth.
+        viz_cap = min(viz_cap, node_budget_w - floor_w)
     headroom = max(node_budget_w - viz_cap, 0.0)
-    sim_cap = min(max(node_budget_w + headroom, floor_w), tdp_w)
+    sim_cap = min(max(headroom, floor_w), tdp_w)
     return sim_cap, viz_cap
+
+
+@dataclass(frozen=True)
+class Advice:
+    """One advise query's complete answer."""
+
+    point: RunPoint                      # priced at the requested (or recommended) cap
+    recommendation: CapRecommendation    # deepest tolerable cap over the full grid
+    cache_hit: bool                      # False when the query executed the algorithm
+    latency_s: float
+
+
+class PowerAdvisor:
+    """Hot-path cap advisor over a ledger cache and a batch repricer.
+
+    The first query for an (algorithm, size) executes the real
+    algorithm once to record its op-count ledger (a cache fill — the
+    same job body the sweep engine runs); every later query reprices
+    the cached ledger closed-form in microseconds.
+
+    Instrumentation: ``repro_advise_queries_total{outcome=hit|miss}``
+    counters, a ``repro_advise_latency_seconds`` histogram, and
+    ``advise``/``advise-fill`` trace spans.
+    """
+
+    def __init__(
+        self,
+        spec: MachineSpec | None = None,
+        *,
+        cache: LedgerCache | str | Path | None = None,
+        dataset_kind: str = "blobs",
+        seed: int = 7,
+        n_cycles: int = DEFAULT_VIZ_CYCLES,
+        caps_w: tuple[float, ...] = POWER_CAPS_W,
+        tolerance: float = SLOWDOWN_THRESHOLD,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.spec = spec if spec is not None else BROADWELL_E5_2695V4
+        self.cache = cache if isinstance(cache, LedgerCache) else LedgerCache(cache)
+        self.repricer = BatchRepricer(self.spec, n_cycles=n_cycles)
+        self.dataset_kind = str(dataset_kind)
+        self.seed = int(seed)
+        self.caps_w = tuple(float(c) for c in caps_w)
+        if not self.caps_w:
+            raise ValueError("need at least one power cap")
+        self.tolerance = float(tolerance)
+        self.dataset = dataset_fingerprint(self.dataset_kind, seed=self.seed)
+        self.machine = machine_spec_hash(self.spec)
+        reg = metrics if metrics is not None else get_registry()
+        self._q_hit = reg.counter(
+            "repro_advise_queries_total", "advise queries", outcome="hit"
+        )
+        self._q_miss = reg.counter(
+            "repro_advise_queries_total", "advise queries", outcome="miss"
+        )
+        self._latency = reg.histogram(
+            "repro_advise_latency_seconds",
+            "per-query advise latency",
+            buckets=ADVISE_LATENCY_BUCKETS,
+        )
+
+    # ------------------------------------------------------------- ledgers
+    def ledger_for(self, algorithm: str, size: int) -> tuple[dict[str, float], bool]:
+        """The (ledger, cache_hit) pair for one key, filling on miss.
+
+        A miss executes the real algorithm once — the same cache-fill
+        body the sweep engine's profile jobs run — and stores the
+        ledger under its content address for every later query.
+        """
+        ledger = self.cache.get(algorithm, size, dataset=self.dataset, machine=self.machine)
+        if ledger is not None:
+            return ledger, True
+        with span("advise-fill", algorithm=algorithm, size=int(size)):
+            ledger = run_algorithm_ledger(
+                algorithm, size, dataset_kind=self.dataset_kind, seed=self.seed
+            )
+        self.cache.put(algorithm, size, ledger, dataset=self.dataset, machine=self.machine)
+        return ledger, False
+
+    def warm(self, algorithms, sizes) -> int:
+        """Fill the ledger cache for a grid; returns the fill count."""
+        filled = 0
+        for algorithm in algorithms:
+            for size in sizes:
+                _, hit = self.ledger_for(algorithm, size)
+                if not hit:
+                    filled += 1
+        return filled
+
+    # -------------------------------------------------------------- queries
+    def advise(
+        self,
+        algorithm: str,
+        size: int,
+        *,
+        cap_w: float | None = None,
+        tolerance: float | None = None,
+    ) -> Advice:
+        """Answer one pricing query.
+
+        With ``cap_w=None`` the answer is priced at the recommended
+        (deepest tolerable) cap; otherwise at the requested cap, with
+        the recommendation still included for comparison.
+        """
+        tol = self.tolerance if tolerance is None else float(tolerance)
+        t0 = time.perf_counter()
+        with span("advise", algorithm=algorithm, size=int(size)):
+            ledger, hit = self.ledger_for(algorithm, size)
+            points = self.repricer.reprice(algorithm, size, ledger, self.caps_w)
+            rec = recommend_cap(points, tolerance=tol)
+            target = rec.cap_w if cap_w is None else float(cap_w)
+            point = self._grid_point(points, target)
+            if point is None:
+                point = self.repricer.reprice(
+                    algorithm, size, ledger, (target,), default_cap_w=max(self.caps_w)
+                )[0]
+        latency = time.perf_counter() - t0
+        (self._q_hit if hit else self._q_miss).inc()
+        self._latency.observe(latency)
+        return Advice(point=point, recommendation=rec, cache_hit=hit, latency_s=latency)
+
+    def reprice_grid(self, algorithms, sizes, caps_w=None) -> list[RunPoint]:
+        """Batch-price a whole algorithm × size × cap grid.
+
+        Ledgers are filled on first use; with a warm cache the entire
+        grid is closed-form — the path ``benchmarks/bench_advisor.py``
+        holds to its queries-per-second floor.
+        """
+        caps = tuple(float(c) for c in caps_w) if caps_w is not None else self.caps_w
+        points: list[RunPoint] = []
+        for algorithm in algorithms:
+            for size in sizes:
+                ledger, _ = self.ledger_for(algorithm, size)
+                points.extend(self.repricer.reprice(algorithm, size, ledger, caps))
+        return points
+
+    @staticmethod
+    def _grid_point(points: list[RunPoint], cap_w: float) -> RunPoint | None:
+        for p in points:
+            if math.isclose(p.cap_w, cap_w, rel_tol=1e-9, abs_tol=1e-6):
+                return p
+        return None

@@ -170,6 +170,17 @@ class ProfileCache:
         self._entries[self._key(algorithm, size)] = dict(ledger)
         self._save()
 
+    def entries(self):
+        """Iterate ``(algorithm, size, ledger)`` over every cached entry.
+
+        The interop point for :meth:`repro.core.pricing.LedgerCache.\
+ingest_profile_cache`: a sweep's ledgers can seed the advise service
+        without re-running a single algorithm.
+        """
+        for key, ledger in list(self._entries.items()):
+            algorithm, _, size = key.rpartition("/")
+            yield algorithm, int(size), dict(ledger)
+
     def __contains__(self, key: tuple[str, int]) -> bool:
         return self._key(*key) in self._entries
 

@@ -1,0 +1,174 @@
+"""PowerAdvisor service, recommend_cap edge cases, recommend_split budget."""
+
+import pytest
+
+from repro.core.advisor import PowerAdvisor, recommend_cap, recommend_split
+from repro.core.classify import Classification, PowerClass
+from repro.core.metrics import Ratios
+from repro.core.pricing import LedgerCache
+from repro.core.runner import RunPoint
+from repro.core.study import ALGORITHM_NAMES
+from repro.obs.metrics import MetricsRegistry
+
+SIZE = 12
+
+
+def _point(cap_w, tratio, power_w=None, algorithm="contour", size=16):
+    """Minimal RunPoint for recommendation-logic tests."""
+    return RunPoint(
+        algorithm=algorithm,
+        size=size,
+        cap_w=cap_w,
+        time_s=tratio,
+        energy_j=1.0,
+        power_w=cap_w if power_w is None else power_w,
+        freq_ghz=2.0,
+        ipc=1.0,
+        llc_miss_rate=0.01,
+        ratios=Ratios(pratio=120.0 / cap_w, tratio=tratio, fratio=1.0),
+    )
+
+
+def _classification(power_class, natural_power_w):
+    return Classification(
+        algorithm="contour",
+        size=16,
+        power_class=power_class,
+        first_slowdown_cap_w=None,
+        natural_power_w=natural_power_w,
+        baseline_ipc=1.0,
+        llc_miss_rate=0.01,
+    )
+
+
+class TestRecommendCap:
+    def test_picks_deepest_tolerable(self):
+        pts = [_point(120.0, 1.0), _point(80.0, 1.05), _point(40.0, 1.5)]
+        rec = recommend_cap(pts, tolerance=0.10)
+        assert rec.cap_w == 80.0
+
+    def test_empty_tolerable_falls_back_to_tdp_baseline(self):
+        pts = [_point(120.0, 1.2), _point(80.0, 1.4), _point(40.0, 1.9)]
+        rec = recommend_cap(pts, tolerance=0.10)
+        assert rec.cap_w == 120.0
+        assert rec.power_saved_w == 0.0
+
+    def test_cap_ties_resolve_deterministically(self):
+        # Two tolerable points share the deepest cap; the earliest in
+        # input order must win, every time.
+        first = _point(60.0, 1.01, power_w=55.0)
+        second = _point(60.0, 1.02, power_w=50.0)
+        pts = [_point(120.0, 1.0), first, second]
+        for _ in range(5):
+            rec = recommend_cap(pts, tolerance=0.10)
+            assert rec.predicted_tratio == first.tratio
+
+    def test_single_point_input(self):
+        rec = recommend_cap([_point(120.0, 1.0)])
+        assert rec.cap_w == 120.0
+        assert rec.power_saved_w == 0.0
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            recommend_cap([])
+
+
+class TestRecommendSplit:
+    def test_budget_respected_for_opportunity(self):
+        cls = _classification(PowerClass.OPPORTUNITY, natural_power_w=45.0)
+        for budget in (80.0, 100.0, 130.0, 200.0, 240.0):
+            sim, viz = recommend_split(cls, node_budget_w=budget)
+            assert sim + viz <= budget + 1e-9, f"budget {budget}: {sim}+{viz}"
+            assert sim >= 40.0 and viz >= 40.0
+
+    def test_budget_respected_for_sensitive(self):
+        # The old allocator handed the simulation the full remaining
+        # headroom *plus* the floor, overshooting the budget.
+        cls = _classification(PowerClass.SENSITIVE, natural_power_w=95.0)
+        for budget in (80.0, 110.0, 135.0, 160.0, 240.0):
+            sim, viz = recommend_split(cls, node_budget_w=budget)
+            assert sim + viz <= budget + 1e-9, f"budget {budget}: {sim}+{viz}"
+            assert sim >= 40.0 and viz >= 40.0
+
+    def test_sensitive_keeps_natural_draw_when_budget_allows(self):
+        cls = _classification(PowerClass.SENSITIVE, natural_power_w=95.0)
+        sim, viz = recommend_split(cls, node_budget_w=200.0)
+        assert viz == 95.0
+        assert sim == 105.0
+
+    def test_opportunity_gets_floor(self):
+        cls = _classification(PowerClass.OPPORTUNITY, natural_power_w=45.0)
+        sim, viz = recommend_split(cls, node_budget_w=160.0)
+        assert viz == 40.0
+        assert sim == 120.0  # headroom clamped to TDP
+
+    def test_infeasible_budget_clamps_to_floors(self):
+        # Below two floors the pair cannot fit; both sides still get a
+        # valid RAPL cap (the floor) rather than an out-of-range value.
+        cls = _classification(PowerClass.OPPORTUNITY, natural_power_w=45.0)
+        sim, viz = recommend_split(cls, node_budget_w=60.0)
+        assert sim == 40.0 and viz == 40.0
+
+    def test_non_positive_budget_raises(self):
+        cls = _classification(PowerClass.OPPORTUNITY, natural_power_w=45.0)
+        with pytest.raises(ValueError):
+            recommend_split(cls, node_budget_w=0.0)
+
+
+class TestPowerAdvisor:
+    @pytest.fixture(scope="class")
+    def advisor(self, tmp_path_factory):
+        cache = LedgerCache(tmp_path_factory.mktemp("advise") / "ledgers.json")
+        registry = MetricsRegistry()
+        return PowerAdvisor(cache=cache, n_cycles=5, metrics=registry), registry
+
+    def test_cold_miss_then_warm_hit(self, advisor):
+        adv, _ = advisor
+        first = adv.advise("contour", SIZE)
+        assert not first.cache_hit
+        second = adv.advise("contour", SIZE)
+        assert second.cache_hit
+        assert second.recommendation == first.recommendation
+        assert second.latency_s < first.latency_s
+
+    def test_metrics_instrumented(self, advisor):
+        adv, registry = advisor
+        adv.advise("contour", SIZE)
+        rendered = registry.to_prometheus()
+        assert "repro_advise_queries_total" in rendered
+        assert "repro_advise_latency_seconds" in rendered
+        assert 'outcome="hit"' in rendered
+
+    def test_cap_override_prices_requested_cap(self, advisor):
+        adv, _ = advisor
+        advice = adv.advise("contour", SIZE, cap_w=60.0)
+        assert advice.point.cap_w == 60.0
+        # The recommendation is independent of the priced cap.
+        assert advice.recommendation.cap_w in adv.caps_w
+
+    def test_off_grid_cap_priced_consistently(self, advisor):
+        adv, _ = advisor
+        advice = adv.advise("contour", SIZE, cap_w=63.5)
+        assert advice.point.cap_w == 63.5
+        assert advice.point.time_s > 0
+
+    def test_warm_counts_only_new_ledgers(self, advisor):
+        adv, _ = advisor
+        assert adv.warm(["threshold"], [SIZE]) == 1
+        assert adv.warm(["threshold"], [SIZE]) == 0
+
+    def test_grid_matches_per_point_recommendation(self, advisor):
+        # Property: recommending from the batch-repriced grid gives the
+        # same answer as recommending from a per-query advise() call.
+        adv, _ = advisor
+        algorithms = list(ALGORITHM_NAMES[:3])
+        points = adv.reprice_grid(algorithms, [SIZE])
+        for alg in algorithms:
+            grid_pts = [p for p in points if p.algorithm == alg]
+            grid_rec = recommend_cap(grid_pts, tolerance=adv.tolerance)
+            assert grid_rec == adv.advise(alg, SIZE).recommendation
+
+    def test_advice_latency_is_measured(self, advisor):
+        adv, _ = advisor
+        advice = adv.advise("contour", SIZE)
+        assert advice.latency_s > 0.0

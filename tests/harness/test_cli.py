@@ -100,6 +100,76 @@ class TestSweepCommand:
             main(["sweep", "phase9"])
 
 
+class TestAdviseCommand:
+    def test_single_query_renders_recommendation(self, capsys, small):
+        rc = main([
+            "advise", "threshold", "12",
+            "--cache", str(small / "ledgers.json"), "--cycles", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "threshold@12^3" in out
+        assert "recommended cap" in out
+
+    def test_json_output_round_trips(self, capsys, small):
+        import json
+
+        rc = main([
+            "advise", "contour", "12", "--cap", "60", "--json",
+            "--cache", str(small / "ledgers.json"), "--cycles", "2",
+        ])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["algorithm"] == "contour"
+        assert doc["cap_w"] == 60.0
+        from repro import api
+
+        assert api.AdviseResponse.from_dict(doc).point.cap_w == 60.0
+
+    def test_requires_algorithm_and_size(self, capsys, small):
+        assert main(["advise", "--cache", ""]) == 2
+        assert "need ALGORITHM and SIZE" in capsys.readouterr().err
+
+    def test_serve_loop_protocol(self, capsys, small, monkeypatch):
+        import io
+        import json
+
+        lines = "\n".join([
+            json.dumps({"algorithm": "threshold", "size": 12, "id": 1}),
+            "",  # blank lines are skipped
+            json.dumps({"algorithm": "nope", "size": 12, "id": 2}),
+            json.dumps({"algorithm": "threshold", "size": 12, "cap_w": 60.0}),
+        ])
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+        rc = main([
+            "advise", "--serve",
+            "--cache", str(small / "ledgers.json"), "--cycles", "2",
+        ])
+        assert rc == 0
+        out = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert len(out) == 3
+        assert out[0]["ok"] and out[0]["id"] == 1
+        assert out[0]["recommended_cap_w"] >= 40.0
+        assert not out[1]["ok"] and out[1]["id"] == 2
+        assert "nope" in out[1]["error"]
+        assert out[2]["ok"] and out[2]["cap_w"] == 60.0 and "id" not in out[2]
+
+    def test_cache_persists_across_invocations(self, capsys, small):
+        argv = [
+            "advise", "volume", "12", "--json",
+            "--cache", str(small / "ledgers.json"), "--cycles", "2",
+        ]
+        import json
+
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert not first["cache_hit"]
+        assert second["cache_hit"]
+        assert second["recommended_cap_w"] == first["recommended_cap_w"]
+
+
 class TestTelemetryCommands:
     def _traced_sweep(self, small):
         store = small / "sweep.jsonl"

@@ -83,9 +83,82 @@ class TestClassifyStudy:
         assert classes["threshold"].size == 12
 
 
+class TestStudyRequest:
+    def test_typed_request_matches_legacy_kwargs(self):
+        typed = api.run_study(api.StudyRequest(config=SMALL, n_cycles=2))
+        with pytest.warns(DeprecationWarning):
+            legacy = api.run_study(SMALL, n_cycles=2)
+        assert [p.to_dict() for p in typed.points] == [p.to_dict() for p in legacy.points]
+
+    def test_typed_request_does_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            api.run_study(api.StudyRequest(config=SMALL, n_cycles=1))
+
+    def test_legacy_kwargs_emit_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="StudyRequest"):
+            api.run_study(SMALL, n_cycles=1)
+
+    def test_typed_request_rejects_extra_kwargs(self):
+        with pytest.raises(TypeError):
+            api.run_study(api.StudyRequest(config=SMALL), n_cycles=1)
+
+    def test_unknown_kwarg_rejected(self):
+        with pytest.raises(TypeError, match="n_cycle"):
+            api.run_study(SMALL, n_cycle=2)
+
+
+class TestAdvise:
+    def test_typed_round_trip(self, tmp_path):
+        advisor = api.advisor(cache=tmp_path / "ledgers.json")
+        req = api.AdviseRequest(algorithm="threshold", size=12)
+        resp = api.advise(req, advisor=advisor)
+        assert resp.algorithm == "threshold"
+        assert resp.size == 12
+        assert not resp.cache_hit  # first query profiles
+        again = api.advise(req, advisor=advisor)
+        assert again.cache_hit
+        assert again.recommended_cap_w == resp.recommended_cap_w
+
+    def test_kwargs_convenience_form(self, tmp_path):
+        advisor = api.advisor(cache=tmp_path / "ledgers.json")
+        resp = api.advise(algorithm="threshold", size=12, cap_w=60.0, advisor=advisor)
+        assert resp.cap_w == 60.0
+        assert resp.point.cap_w == 60.0
+
+    def test_dict_request_accepted(self, tmp_path):
+        advisor = api.advisor(cache=tmp_path / "ledgers.json")
+        resp = api.advise({"algorithm": "threshold", "size": 12}, advisor=advisor)
+        assert resp.algorithm == "threshold"
+
+    def test_response_serialization_round_trip(self, tmp_path):
+        import json
+
+        advisor = api.advisor(cache=tmp_path / "ledgers.json")
+        resp = api.advise(api.AdviseRequest(algorithm="contour", size=12), advisor=advisor)
+        doc = json.loads(json.dumps(resp.to_dict()))
+        assert api.AdviseResponse.from_dict(doc) == resp
+
+    def test_request_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown"):
+            api.AdviseRequest.from_dict({"algorithm": "contour", "size": 12, "bogus": 1})
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(ValueError, match="machine"):
+            api.advise(algorithm="contour", size=12, machine="pentium")
+        with pytest.raises(ValueError, match="machine"):
+            api.advisor(machine="pentium")
+
+
 class TestTopLevelExports:
     def test_facade_reexported_from_package_root(self):
         assert repro.run_study is api.run_study
+        assert repro.advise is api.advise
+        assert repro.StudyRequest is api.StudyRequest
+        assert repro.AdviseRequest is api.AdviseRequest
+        assert repro.AdviseResponse is api.AdviseResponse
         assert repro.load_result is api.load_result
         assert repro.classify_study is api.classify_study
         assert repro.regenerate_tables is api.regenerate_tables
