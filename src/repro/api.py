@@ -48,12 +48,22 @@ from .core.study import (
     phase3_config,
 )
 from .core.validate import ValidationReport, validate_store
-from .faults import PLANS, ChaosReport, FaultPlan, get_plan
+from .faults import (
+    PLANS,
+    SERVICE_PLANS,
+    ChaosReport,
+    FaultPlan,
+    ServiceChaosReport,
+    get_plan,
+    get_service_plan,
+)
 from .faults import run_chaos as _run_chaos
+from .faults import run_service_chaos as _run_service_chaos
 from .harness.experiments import DEFAULT_CACHE_PATH, TableHarness, effective_sizes
 from .lint import LintReport
 from .lint import lint_paths as _lint_paths
 from .machine.presets import ALL_PRESETS
+from .serve import DEFAULT_SPOOL, SubmitReceipt, SweepService
 
 __all__ = [
     "StudyRequest",
@@ -69,10 +79,18 @@ __all__ = [
     "sweep_engine",
     "harness",
     "run_chaos",
+    "run_service_chaos",
     "doctor",
     "lint",
     "PLANS",
     "get_plan",
+    "SERVICE_PLANS",
+    "get_service_plan",
+    "sweep_service",
+    "submit_study",
+    "study_status",
+    "cancel_study",
+    "service_report",
 ]
 
 #: Phase names accepted by :func:`resolve_config` / :func:`run_study`.
@@ -477,6 +495,135 @@ def run_chaos(
         seed=seed,
         spec=spec,
         progress=progress,
+        trace=trace,
+    )
+
+
+# ----------------------------------------------------------------- service
+def sweep_service(
+    spool: str | Path = DEFAULT_SPOOL,
+    *,
+    workers: int = 2,
+    lease_s: float = 30.0,
+    queue_limit: int = 16,
+    breaker_threshold: int = 3,
+    trace=None,
+    **kwargs,
+) -> SweepService:
+    """A configured :class:`~repro.serve.service.SweepService` over a spool.
+
+    The facade's construction point for the supervised sweep service:
+    the spool directory holds the WAL (the durable job queue), one
+    fingerprinted result store per job, and the shared ledger caches.
+    Clients and the daemon both work through this object — the WAL is
+    the IPC.  See ``docs/robustness.md`` ("service-layer failure modes").
+    """
+    return SweepService(
+        spool,
+        workers=workers,
+        lease_s=lease_s,
+        queue_limit=queue_limit,
+        breaker_threshold=breaker_threshold,
+        trace=trace,
+        **kwargs,
+    )
+
+
+def submit_study(
+    config: StudyConfig | str = "phase1",
+    *,
+    spool: str | Path = DEFAULT_SPOOL,
+    dataset_kind: str = "blobs",
+    seed: int = 7,
+    n_cycles: int = DEFAULT_VIZ_CYCLES,
+    max_retries: int = 2,
+    service: SweepService | None = None,
+) -> SubmitReceipt:
+    """Durably enqueue one study for the sweep service (or be shed).
+
+    Phase names are resolved here — ``REPRO_MAX_SIZE`` applies at
+    submission, and the WAL records the exact grid.  The returned
+    :class:`~repro.serve.service.SubmitReceipt` says whether the job was
+    accepted (``queued``) or shed (``queue-full`` when the queue is at
+    its limit, ``degraded`` when the circuit breaker is open).  An
+    accepted receipt is durable: the submit record is fsynced before
+    this returns, so the job survives any daemon crash.
+    """
+    svc = service if service is not None else sweep_service(spool)
+    return svc.submit(
+        resolve_config(config),
+        dataset_kind=dataset_kind,
+        seed=seed,
+        n_cycles=n_cycles,
+        max_retries=max_retries,
+    )
+
+
+def study_status(
+    job_id: str,
+    *,
+    spool: str | Path = DEFAULT_SPOOL,
+    service: SweepService | None = None,
+) -> dict:
+    """One job's current state, derived by replaying the spool's WAL."""
+    svc = service if service is not None else sweep_service(spool)
+    return svc.status(job_id)
+
+
+def cancel_study(
+    job_id: str,
+    *,
+    spool: str | Path = DEFAULT_SPOOL,
+    service: SweepService | None = None,
+) -> dict:
+    """Cooperatively cancel a pending/running job; returns its snapshot."""
+    svc = service if service is not None else sweep_service(spool)
+    return svc.cancel(job_id)
+
+
+def service_report(
+    *,
+    spool: str | Path = DEFAULT_SPOOL,
+    service: SweepService | None = None,
+) -> dict:
+    """Service-wide snapshot: queue counts, breaker state, per-job status."""
+    svc = service if service is not None else sweep_service(spool)
+    return svc.report()
+
+
+def run_service_chaos(
+    config: StudyConfig | str = "phase1",
+    *,
+    plan: str = "default",
+    spool: str | Path,
+    n_jobs: int = 2,
+    workers: int = 2,
+    lease_s: float = 1.0,
+    n_cycles: int = 2,
+    seed: int = 7,
+    chaos_seed: int | None = None,
+    trace=None,
+) -> ServiceChaosReport:
+    """Torture the sweep service under a named plan; report the contract.
+
+    Submits ``n_jobs`` studies, drains a daemon generation under
+    injected worker crashes / heartbeat stalls / duplicate deliveries,
+    optionally tears the WAL's last record, then replays into a fresh
+    generation.  ``report.survived`` asserts: no accepted job lost or
+    failed, duplicates ignored rather than double-counted, replay
+    convergent, and every store bitwise identical to an uninterrupted
+    run.
+    """
+    return _run_service_chaos(
+        resolve_config(config),
+        plan,
+        spool=spool,
+        n_jobs=n_jobs,
+        workers=workers,
+        lease_s=lease_s,
+        n_cycles=n_cycles,
+        seed=seed,
+        chaos_seed=chaos_seed,
         trace=trace,
     )
 

@@ -11,6 +11,10 @@
     python -m repro advise contour 128 --cap 60          # price one query
     python -m repro advise --serve < queries.jsonl       # JSONL query loop
     python -m repro chaos phase1 --plan default --workers 4
+    python -m repro serve .cache/serve --workers 2       # supervised daemon
+    python -m repro jobs --submit phase1 --report        # enqueue + inspect
+    python -m repro jobs < requests.jsonl                # JSONL job protocol
+    python -m repro chaos --service                      # daemon-layer drill
     python -m repro doctor .cache/sweep-phase1.jsonl
     python -m repro doctor --lint                     # audit the source too
     python -m repro trace sweep.trace.jsonl
@@ -27,6 +31,14 @@ per-measurement visualization cycle count.
 sensor dropout, a torn store tail, ...) and reports survival; ``doctor``
 audits an existing store against the physical invariants and can
 quarantine violators.  See docs/robustness.md.
+
+``serve`` runs the crash-safe sweep daemon over a WAL-backed spool:
+``kill -9`` it and a restart replays the queue, reclaims orphaned
+leases, and resumes every study bitwise from its store.  ``jobs`` is
+the client — one-shot submit/status/cancel/report flags, or a hardened
+JSONL request loop on stdin.  ``chaos --service`` drills that contract
+(worker crashes mid-job, heartbeat stalls, duplicate delivery, a torn
+WAL tail) and exits non-zero if a job is lost or a byte differs.
 
 ``trace`` and ``metrics`` read back the telemetry layer's artifacts —
 per-phase span breakdowns and counter/gauge/histogram dumps (JSON or
@@ -212,6 +224,37 @@ def cmd_sweep(args) -> None:
 
 def cmd_chaos(args) -> int:
     config = api.resolve_config(args.phase)
+    if args.service:
+        if args.plan not in api.SERVICE_PLANS:
+            print(
+                f"chaos --service: unknown service plan {args.plan!r} "
+                f"(expected one of {', '.join(sorted(api.SERVICE_PLANS))})",
+                file=sys.stderr,
+            )
+            return 2
+        spool = args.spool or str(Path(".cache") / f"service-chaos-{config.name}")
+        print(f"service chaos {config.name}: plan '{args.plan}', spool={spool}")
+        report = api.run_service_chaos(
+            config,
+            plan=args.plan,
+            spool=spool,
+            n_jobs=args.jobs,
+            workers=args.workers if args.workers else 2,
+            lease_s=args.lease,
+            n_cycles=args.cycles,
+            chaos_seed=args.seed,
+            trace=args.trace,
+        )
+        print(report.render())
+        return 0 if report.survived else 1
+    if args.plan not in api.PLANS:
+        print(
+            f"chaos: unknown fault plan {args.plan!r} "
+            f"(expected one of {', '.join(sorted(api.PLANS))}; "
+            "service plans need --service)",
+            file=sys.stderr,
+        )
+        return 2
     store = args.store or str(Path(".cache") / f"chaos-{config.name}.jsonl")
     plan = api.get_plan(args.plan)
     print(
@@ -230,6 +273,150 @@ def cmd_chaos(args) -> int:
     )
     print(report.render())
     return 0 if report.survived else 1
+
+
+def cmd_serve(args) -> int:
+    import signal
+
+    svc = api.sweep_service(
+        args.spool,
+        workers=args.workers,
+        lease_s=args.lease,
+        poll_interval_s=args.poll,
+        trace=args.trace,
+    )
+    sup = svc.supervisor()
+
+    def _terminate(signum, frame):  # graceful: running studies requeue
+        sup.stop()
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    print(
+        f"serve: spool={svc.spool} workers={svc.workers} "
+        f"lease={svc.lease_s:.0f}s" + (" (drain)" if args.drain else "")
+    )
+    try:
+        report = svc.run_daemon(drain=args.drain, supervisor=sup)
+    except KeyboardInterrupt:
+        sup.stop()
+        report = svc.report()
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+    counts = report["counts"]
+    print(
+        f"serve: done — {counts['completed']} completed, {counts['failed']} failed, "
+        f"{counts['cancelled']} cancelled, {counts['pending'] + counts['running']} open; "
+        f"breaker {report['breaker']}, "
+        f"{report['wal_corrupt_lines']} corrupt WAL line(s) skipped"
+    )
+    return 0
+
+
+def cmd_jobs(args) -> int:
+    import json as _json
+
+    svc = api.sweep_service(args.spool)
+
+    def out(doc: dict) -> None:
+        print(_json.dumps(doc, sort_keys=True), flush=True)
+
+    rc = 0
+    acted = False
+    for phase in args.submit or ():
+        acted = True
+        try:
+            receipt = api.submit_study(
+                phase,
+                service=svc,
+                n_cycles=args.cycles,
+                max_retries=args.max_retries,
+            )
+            out({"ok": receipt.accepted, "op": "submit", **receipt.to_dict()})
+            if not receipt.accepted:
+                rc = 1
+        except Exception as exc:
+            out({"ok": False, "op": "submit", "error": str(exc)})
+            rc = 1
+    for job_id in args.status or ():
+        acted = True
+        try:
+            out({"ok": True, "op": "status", **svc.status(job_id)})
+        except KeyError as exc:
+            out({"ok": False, "op": "status", "error": str(exc)})
+            rc = 1
+    for job_id in args.cancel or ():
+        acted = True
+        try:
+            out({"ok": True, "op": "cancel", **svc.cancel(job_id)})
+        except KeyError as exc:
+            out({"ok": False, "op": "cancel", "error": str(exc)})
+            rc = 1
+    if args.report:
+        acted = True
+        out({"ok": True, "op": "report", **svc.report()})
+    if acted:
+        return rc
+
+    # No one-shot action: speak the JSONL request/response protocol on
+    # stdin, hardened the same way as `repro advise --serve` (bounded
+    # line length, malformed input answered instead of fatal).
+    from .obs.metrics import get_registry
+
+    max_line = 64 * 1024
+    reg = get_registry()
+    while True:
+        raw = sys.stdin.readline(max_line + 1)
+        if raw == "":
+            break
+        if len(raw) > max_line:
+            while True:
+                chunk = sys.stdin.readline(max_line)
+                if chunk == "" or chunk.endswith("\n"):
+                    break
+            reg.counter(
+                "repro_jobs_errors_total", "jobs serve-loop failures", reason="oversized"
+            ).inc()
+            out({"ok": False, "error": f"request line exceeds {max_line} bytes"})
+            continue
+        line = raw.strip()
+        if not line:
+            continue
+        req_id = None
+        try:
+            doc = _json.loads(line)
+            if not isinstance(doc, dict):
+                raise ValueError("jobs request must be a JSON object")
+            req_id = doc.pop("id", None)
+            op = doc.pop("op", None)
+            if op == "submit":
+                study = doc.pop("study", "phase1")
+                n_cycles = int(doc.pop("n_cycles", args.cycles))
+                max_retries = int(doc.pop("max_retries", args.max_retries))
+                if doc:
+                    raise ValueError(f"unknown submit field(s) {sorted(doc)}")
+                receipt = api.submit_study(
+                    study, service=svc, n_cycles=n_cycles, max_retries=max_retries
+                )
+                answer = {"ok": receipt.accepted, "op": op, **receipt.to_dict()}
+            elif op == "status":
+                answer = {"ok": True, "op": op, **svc.status(str(doc["job_id"]))}
+            elif op == "cancel":
+                answer = {"ok": True, "op": op, **svc.cancel(str(doc["job_id"]))}
+            elif op == "report":
+                answer = {"ok": True, "op": op, **svc.report()}
+            else:
+                raise ValueError(
+                    f"unknown op {op!r}; expected submit/status/cancel/report"
+                )
+        except Exception as exc:  # protocol boundary: report, keep serving
+            reg.counter(
+                "repro_jobs_errors_total", "jobs serve-loop failures", reason="bad-request"
+            ).inc()
+            answer = {"ok": False, "error": str(exc)}
+        if req_id is not None:
+            answer["id"] = req_id
+        out(answer)
+    return 0
 
 
 def cmd_doctor(args) -> int:
@@ -301,18 +488,61 @@ def cmd_advise(args) -> int:
         # One JSON request per stdin line, one JSON response line back
         # (see docs/pricing_service.md for the protocol).  An optional
         # "id" field is echoed verbatim so callers can pipeline queries.
-        for line in sys.stdin:
-            line = line.strip()
+        # The loop is a trust boundary: lines are read with a hard length
+        # bound (a pathological client cannot balloon memory), an
+        # oversized line is drained and answered with an error instead of
+        # poisoning the next request, and every failure increments
+        # repro_advise_errors_total{reason=...} — the loop itself never
+        # dies on bad input.
+        from .obs.metrics import get_registry
+
+        max_line = 64 * 1024
+        reg = get_registry()
+
+        def _count_error(reason: str) -> None:
+            reg.counter(
+                "repro_advise_errors_total", "advise serve-loop failures", reason=reason
+            ).inc()
+
+        while True:
+            raw = sys.stdin.readline(max_line + 1)
+            if raw == "":
+                break  # EOF
+            if len(raw) > max_line:
+                # Drain the remainder of this line so the next readline
+                # starts at a fresh request, then report the rejection.
+                while True:
+                    chunk = sys.stdin.readline(max_line)
+                    if chunk == "" or chunk.endswith("\n"):
+                        break
+                _count_error("oversized")
+                out = {"ok": False, "error": f"request line exceeds {max_line} bytes"}
+                print(_json.dumps(out, sort_keys=True), flush=True)
+                continue
+            line = raw.strip()
             if not line:
                 continue
             req_id = None
             try:
-                doc = _json.loads(line)
+                try:
+                    doc = _json.loads(line)
+                except ValueError as exc:
+                    _count_error("invalid-json")
+                    raise ValueError(f"invalid JSON: {exc}") from exc
                 if not isinstance(doc, dict):
+                    _count_error("bad-request")
                     raise ValueError("advise request must be a JSON object")
                 req_id = doc.pop("id", None)
-                request = api.AdviseRequest.from_dict(doc)
-                resp = api.advise(request, advisor=advisor_for(request.machine))
+                try:
+                    request = api.AdviseRequest.from_dict(doc)
+                except (KeyError, TypeError, ValueError):
+                    _count_error("bad-request")
+                    raise
+                try:
+                    resp = api.advise(request, advisor=advisor_for(request.machine))
+                except Exception:
+                    _count_error("internal")
+                    raise
                 out = {"ok": True, **resp.to_dict()}
             except Exception as exc:  # protocol boundary: report, keep serving
                 out = {"ok": False, "error": str(exc)}
@@ -442,8 +672,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("phase", nargs="?", default="phase1", choices=list(api.PHASE_NAMES),
                        help="which factor grid to sweep (default: phase1)")
-    chaos.add_argument("--plan", default="default", choices=sorted(api.PLANS),
-                       help="named fault plan (default: 'default')")
+    chaos.add_argument("--plan", default="default",
+                       choices=sorted(set(api.PLANS) | set(api.SERVICE_PLANS)),
+                       help="named fault plan (default: 'default'; service plans "
+                       "need --service)")
     chaos.add_argument("--seed", type=int, default=None, metavar="N",
                        help="re-seed the fault schedule (default: the plan's seed)")
     chaos.add_argument("--workers", type=int, default=None, metavar="N",
@@ -454,6 +686,68 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="stream per-point engine events")
     chaos.add_argument("--trace", default=None, metavar="PATH",
                        help="write a span/event trace of all five chaos phases")
+    chaos.add_argument("--service", action="store_true",
+                       help="drill the daemon layer instead (WAL queue, "
+                       "supervision, crash/stall/duplicate faults)")
+    chaos.add_argument("--spool", default=None, metavar="DIR",
+                       help="service spool dir (--service; default: "
+                       ".cache/service-chaos-<phase>)")
+    chaos.add_argument("--jobs", type=int, default=2, metavar="N",
+                       help="studies to submit in the service drill (default: 2)")
+    chaos.add_argument("--lease", type=float, default=1.0, metavar="S",
+                       help="heartbeat lease in the service drill (default: 1.0)")
+
+    serve = sub.add_parser(
+        "serve",
+        parents=[common],
+        help="run the crash-safe supervised sweep daemon over a spool",
+        description="Supervised daemon: replays the spool's write-ahead log, "
+        "reclaims orphaned leases from any previous (crashed) generation, "
+        "and drives submitted studies through bounded workers with "
+        "heartbeat leases, capped retry backoff, and a circuit breaker. "
+        "SIGTERM/Ctrl-C stop gracefully (running studies requeue and "
+        "resume bitwise on the next start).",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    serve.add_argument("spool", nargs="?", default=api.DEFAULT_SPOOL,
+                       help=f"spool directory (default: {api.DEFAULT_SPOOL})")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="supervised worker threads (default: 2)")
+    serve.add_argument("--lease", type=float, default=30.0, metavar="S",
+                       help="heartbeat lease duration (default: 30)")
+    serve.add_argument("--poll", type=float, default=0.05, metavar="S",
+                       help="control-loop poll interval (default: 0.05)")
+    serve.add_argument("--drain", action="store_true",
+                       help="exit once every queued job is terminal")
+    serve.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a span/event trace (JSONL; read with `repro trace`)")
+
+    jobs = sub.add_parser(
+        "jobs",
+        parents=[common],
+        help="submit/inspect/cancel sweep-service jobs (or a JSONL loop)",
+        description="Client for the sweep service spool: --submit/--status/"
+        "--cancel/--report run one-shot against the WAL (no daemon needed "
+        "to enqueue); with no action flags it reads one JSON request per "
+        "stdin line ({\"op\": \"submit\"|\"status\"|\"cancel\"|\"report\", ...}) "
+        "and writes one JSON response line, surviving malformed input.",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    jobs.add_argument("spool", nargs="?", default=api.DEFAULT_SPOOL,
+                      help=f"spool directory (default: {api.DEFAULT_SPOOL})")
+    jobs.add_argument("--submit", action="append", metavar="PHASE",
+                      choices=list(api.PHASE_NAMES),
+                      help="durably enqueue one study (repeatable)")
+    jobs.add_argument("--status", action="append", metavar="JOB_ID",
+                      help="print one job's snapshot (repeatable)")
+    jobs.add_argument("--cancel", action="append", metavar="JOB_ID",
+                      help="cooperatively cancel a job (repeatable)")
+    jobs.add_argument("--report", action="store_true",
+                      help="print the service-wide snapshot")
+    jobs.add_argument("--max-retries", type=int, default=2, metavar="N",
+                      help="per-study retry budget for submissions (default: 2)")
 
     advise = sub.add_parser(
         "advise",
@@ -566,6 +860,10 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_advise(args)
     if args.command == "chaos":
         return cmd_chaos(args)
+    if args.command == "serve":
+        return cmd_serve(args)
+    if args.command == "jobs":
+        return cmd_jobs(args)
     if args.command == "sweep":
         cmd_sweep(args)
         return 0

@@ -1,0 +1,48 @@
+"""Capped, jittered retry backoff shared by the engine and the service.
+
+The naive ``base * 2 ** (attempt - 1)`` schedule has two operational
+failure modes at scale (Schuchart et al., arXiv:1808.08106: variation,
+not raw draw, dominates): it is *unbounded* (a deep retry budget turns
+into minute-long stalls) and it is *deterministic in the worst way* —
+every worker that failed together retries together, re-creating the
+very contention that failed them.  :func:`retry_backoff` fixes both:
+the exponential is capped at ``cap_s``, and the delay is scattered over
+``[cap/2, cap)`` by a *seeded* jitter draw, so schedules stay
+bit-reproducible per ``(seed, key, attempt)`` — the property every
+fault-plan test in this repo depends on — while distinct keys (jobs,
+studies) desynchronize instead of stampeding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["retry_backoff"]
+
+
+def _unit(seed: int, key: str, attempt: int) -> float:
+    """Deterministic uniform draw in [0, 1) for one (seed, key, attempt)."""
+    digest = hashlib.sha256(f"backoff|{seed}|{key}|{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def retry_backoff(
+    attempt: int,
+    *,
+    base_s: float,
+    cap_s: float = 5.0,
+    seed: int = 0,
+    key: str = "",
+) -> float:
+    """Delay before retry ``attempt`` (1-based): capped exponential + jitter.
+
+    The raw schedule is ``min(cap_s, base_s * 2 ** (attempt - 1))``; the
+    returned delay is that value scaled into ``[0.5, 1.0)`` of itself by
+    a deterministic draw on ``(seed, key, attempt)``.  Same inputs, same
+    delay — different keys, different delays — so a retry storm across
+    many jobs spreads out instead of synchronizing.
+    """
+    if attempt < 1 or base_s <= 0.0:
+        return 0.0
+    raw_s = min(float(cap_s), float(base_s) * 2.0 ** (min(attempt, 63) - 1))
+    return raw_s * (0.5 + 0.5 * _unit(int(seed), key, int(attempt)))

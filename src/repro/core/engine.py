@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
@@ -53,17 +54,35 @@ from ..obs.metrics import MetricsRegistry, get_registry
 from ..obs.samples import SampleWriter, samples_path_for
 from ..obs.trace import NULL_SPAN, Tracer
 from .atomicio import atomic_write_json
+from .backoff import retry_backoff
 from .profiles import ProfileCache, profile_from_ledger, run_algorithm_ledger
 from .runner import DEFAULT_VIZ_CYCLES, StudyResult, make_run_point
 from .store import ResultStore, sweep_fingerprint
 from .study import StudyConfig
 from .validate import PointValidator
 
-__all__ = ["ProfileJob", "EngineStats", "SweepError", "SweepEngine", "execute_profile_job"]
+__all__ = [
+    "ProfileJob",
+    "EngineStats",
+    "SweepError",
+    "SweepInterrupted",
+    "SweepEngine",
+    "execute_profile_job",
+]
 
 
 class SweepError(RuntimeError):
     """A profile job failed after exhausting its retry budget."""
+
+
+class SweepInterrupted(RuntimeError):
+    """A cooperative stop (:meth:`SweepEngine.request_stop`) took effect.
+
+    Raised at the next job boundary after another thread asks the sweep
+    to stop — the supervised service's cancel/shutdown path.  Handled
+    exactly like ``KeyboardInterrupt``: the store is fsynced first, so
+    re-running with the same store resumes from every persisted point.
+    """
 
 
 @dataclass(frozen=True)
@@ -128,7 +147,12 @@ class SweepEngine:
     max_retries:
         Extra attempts per failed profile job before the sweep aborts.
     backoff_s:
-        Base of the exponential retry backoff (``backoff_s * 2**attempt``).
+        Base of the retry backoff.  Delays follow
+        :func:`~repro.core.backoff.retry_backoff`: exponential in the
+        attempt, capped at ``backoff_cap_s``, scattered by a seeded
+        jitter so synchronized retry storms cannot form.
+    backoff_cap_s:
+        Upper bound on a single retry delay (default 5 s).
     chunk_size:
         Scheduling window: at most this many jobs are in flight at once
         (default ``2 * workers``), bounding queue memory for huge grids.
@@ -190,6 +214,7 @@ class SweepEngine:
         timeout_s: float | None = None,
         max_retries: int = 2,
         backoff_s: float = 0.05,
+        backoff_cap_s: float = 5.0,
         chunk_size: int | None = None,
         store: ResultStore | str | os.PathLike | None = None,
         profile_cache: ProfileCache | None = None,
@@ -215,6 +240,9 @@ class SweepEngine:
         self.timeout_s = timeout_s
         self.max_retries = int(max_retries)
         self.backoff_s = float(backoff_s)
+        if backoff_cap_s <= 0:
+            raise ValueError("backoff_cap_s must be positive")
+        self.backoff_cap_s = float(backoff_cap_s)
         self.chunk_size = chunk_size
         self.store = ResultStore(store) if store is not None and not isinstance(store, ResultStore) else store
         self.profile_cache = profile_cache if profile_cache is not None else ProfileCache(None)
@@ -235,6 +263,22 @@ class SweepEngine:
         )
         self.metrics = metrics if metrics is not None else get_registry()
         self.stats = EngineStats()
+        self._stop = threading.Event()
+
+    # ---------------------------------------------------------- interruption
+    def request_stop(self) -> None:
+        """Ask a running sweep to stop at the next job boundary.
+
+        Thread-safe: the supervised service calls this from its control
+        thread to cancel or drain a study.  The sweep raises
+        :class:`SweepInterrupted` after fsyncing the store, so every
+        completed point survives and a later run resumes exactly there.
+        """
+        self._stop.set()
+
+    def _check_stop(self) -> None:
+        if self._stop.is_set():
+            raise SweepInterrupted("stop requested")
 
     # ----------------------------------------------------------- identity
     def fingerprint(self) -> str:
@@ -384,13 +428,14 @@ class SweepEngine:
         try:
             jobs: list[ProfileJob] = []
             for alg, size in todo:
+                self._check_stop()
                 if self.profile_cache.get(alg, size) is None:
                     jobs.append(ProfileJob(alg, size, self.dataset_kind, self.seed))
                 else:
                     self.stats.profile_jobs_cached += 1
                     price_group(alg, size)
             self._execute_jobs(jobs, on_done=price_group)
-        except KeyboardInterrupt:
+        except (KeyboardInterrupt, SweepInterrupted):
             # Graceful interrupt: everything priced so far is already on
             # disk (appends fsync per point); force full durability and
             # hand control back so `--resume` picks up exactly here.
@@ -548,6 +593,7 @@ class SweepEngine:
     def _run_serial(self, jobs: list[ProfileJob], on_done=None) -> None:
         total = len(jobs)
         for i, job in enumerate(jobs, start=1):
+            self._check_stop()
             t0 = time.perf_counter()
             attempt = 0
             while True:
@@ -584,8 +630,17 @@ class SweepEngine:
                         attempt=attempt,
                         error=repr(exc),
                     )
-                    time.sleep(self.backoff_s * 2 ** (attempt - 1))
+                    time.sleep(self._backoff(job, attempt))
             self._record(job, ledger, i, total, time.perf_counter() - t0, on_done)
+
+    def _backoff(self, job: ProfileJob, attempt: int) -> float:
+        return retry_backoff(
+            attempt,
+            base_s=self.backoff_s,
+            cap_s=self.backoff_cap_s,
+            seed=self.seed,
+            key=f"{job.algorithm}@{job.size}",
+        )
 
     def _run_pool(self, jobs: list[ProfileJob], on_done=None) -> None:
         window = self.chunk_size or max(2 * self.workers, 4)
@@ -597,7 +652,7 @@ class SweepEngine:
             with ProcessPoolExecutor(max_workers=self.workers) as pool:
                 try:
                     self._pool_loop(pool, pending, attempts, in_flight, window, total, on_done)
-                except KeyboardInterrupt:
+                except (KeyboardInterrupt, SweepInterrupted):
                     # Graceful interrupt: stop feeding the pool, cancel
                     # whatever has not started, and get out fast — the
                     # caller fsyncs the store and re-raises.
@@ -613,6 +668,7 @@ class SweepEngine:
     def _pool_loop(self, pool, pending, attempts, in_flight, window, total, on_done) -> None:
         completed = 0
         while pending or in_flight:
+            self._check_stop()
             while pending and len(in_flight) < window:
                 job = pending.popleft()
                 fut = pool.submit(self._job_body(job, attempts.get(job, 0)), job)
@@ -690,5 +746,5 @@ class SweepEngine:
             attempt=attempts[job],
             error=repr(exc),
         )
-        time.sleep(self.backoff_s * 2 ** (attempts[job] - 1))
+        time.sleep(self._backoff(job, attempts[job]))
         pending.append(job)

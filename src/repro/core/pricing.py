@@ -136,7 +136,28 @@ class LedgerCache:
 
     # ------------------------------------------------------------ persistence
     def _load(self, p: Path) -> None:
-        doc = json.loads(p.read_text())
+        try:
+            doc = json.loads(p.read_text())
+        except json.JSONDecodeError as exc:
+            # Torn mid-record (crash before this cache existed, external
+            # truncation): the cache only memoizes re-runnable work, so
+            # recover by starting empty — but move the damage aside so it
+            # is inspectable, and say so through obs.  Wrong-format and
+            # too-new files still raise below: those are *intact* files
+            # we must not destroy.
+            corrupt = p.with_name(p.name + ".corrupt")
+            log_event(
+                "ledger-cache-corrupt",
+                f"ledger cache {p} is truncated or corrupt ({exc!r}); "
+                f"renaming to {corrupt.name} and starting with an empty cache",
+                path=str(p),
+                renamed_to=str(corrupt),
+            )
+            try:
+                p.replace(corrupt)
+            except OSError:
+                pass  # read-only cache dir: the warning above still fired
+            return
         if doc.get("format") != self.FORMAT:
             raise ValueError(f"{p} is not a ledger cache (format={doc.get('format')!r})")
         if int(doc.get("version", 1)) > self.VERSION:

@@ -113,7 +113,28 @@ class ProfileCache:
         return f"{algorithm}/{int(size)}"
 
     def _load_json(self, p: Path) -> None:
-        doc = json.loads(p.read_text())
+        try:
+            doc = json.loads(p.read_text())
+        except json.JSONDecodeError as exc:
+            # A torn write (crash mid-flush on a pre-atomicio cache, or a
+            # tool truncating the file) must not brick the harness — the
+            # cache only memoizes re-runnable work.  Same contract as the
+            # legacy-pickle path: warn, move the damage aside so it is
+            # inspectable instead of silently re-discarded every startup,
+            # and start empty.
+            corrupt = p.with_name(p.name + ".corrupt")
+            log_event(
+                "profile-cache-corrupt",
+                f"profile cache {p} is truncated or corrupt ({exc!r}); "
+                f"renaming to {corrupt.name} and starting with an empty cache",
+                path=str(p),
+                renamed_to=str(corrupt),
+            )
+            try:
+                p.replace(corrupt)
+            except OSError:
+                pass  # read-only cache dir: the warning above still fired
+            return
         if doc.get("format") != self.FORMAT:
             raise ValueError(f"{p} is not a profile cache (format={doc.get('format')!r})")
         if int(doc.get("version", 1)) > self.VERSION:

@@ -13,12 +13,24 @@ realistic faults instead of trusted on faith:
   sample dropout/noise, hooked into ``RaplController``/``Processor``;
 * :func:`tear_tail` / :func:`corrupt_header` / :func:`flip_fingerprint`
   — byte-level store damage;
-* :func:`run_chaos` — the end-to-end driver behind ``repro chaos``.
+* :func:`run_chaos` — the end-to-end driver behind ``repro chaos``;
+* :class:`ServiceFaultInjector` / :data:`SERVICE_PLANS` /
+  :func:`run_service_chaos` — the daemon-layer drill behind
+  ``repro chaos --service`` (worker crash mid-job, heartbeat stalls,
+  duplicate delivery, a torn WAL tail).
 """
 
 from .chaos import ChaosReport, run_chaos
 from .machine import MachineFaultInjector, clear_machine_faults, inject_machine_faults
 from .plan import PLANS, FaultPlan, InjectedFault, get_plan
+from .service import (
+    SERVICE_PLANS,
+    ServiceChaosReport,
+    ServiceFaultInjector,
+    get_service_plan,
+    run_service_chaos,
+    tear_wal_tail,
+)
 from .storefx import corrupt_header, flip_fingerprint, tear_tail
 
 __all__ = [
@@ -34,4 +46,10 @@ __all__ = [
     "flip_fingerprint",
     "ChaosReport",
     "run_chaos",
+    "ServiceFaultInjector",
+    "SERVICE_PLANS",
+    "get_service_plan",
+    "ServiceChaosReport",
+    "run_service_chaos",
+    "tear_wal_tail",
 ]

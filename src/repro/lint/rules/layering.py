@@ -10,7 +10,7 @@ layer  modules
 2      ``repro.viz``, ``repro.machine``, ``repro.cloverleaf``
 3      ``repro.insitu``
 4      ``repro.core``
-5      ``repro.faults``, ``repro.harness``, ``repro.lint``
+5      ``repro.faults``, ``repro.harness``, ``repro.lint``, ``repro.serve``
 6      ``repro.api``
 7      ``repro`` (root), ``repro.cli``
 8      ``repro.__main__``
@@ -52,6 +52,7 @@ LAYERS: dict[str, int] = {
     "faults": 5,
     "harness": 5,
     "lint": 5,
+    "serve": 5,
     "api": 6,
     "cli": 7,
     "__main__": 8,

@@ -1,0 +1,48 @@
+"""Shared retry backoff: capped exponential with deterministic jitter."""
+
+import pytest
+
+from repro.core.backoff import retry_backoff
+
+
+class TestRetryBackoff:
+    def test_grows_exponentially_until_the_cap(self):
+        # jitter draws in [raw/2, raw), so compare against the raw curve
+        raws = [min(5.0, 0.1 * 2 ** (a - 1)) for a in range(1, 12)]
+        for attempt, raw in enumerate(raws, start=1):
+            d = retry_backoff(attempt, base_s=0.1, cap_s=5.0, seed=1, key="k")
+            assert raw / 2 <= d < raw
+
+    def test_never_exceeds_the_cap(self):
+        for attempt in (1, 5, 10, 63, 200, 10_000):
+            assert retry_backoff(attempt, base_s=1.0, cap_s=2.5, seed=0) < 2.5
+
+    def test_huge_attempt_counts_do_not_overflow(self):
+        assert retry_backoff(10**9, base_s=1.0, cap_s=3.0, seed=0) < 3.0
+
+    def test_deterministic_for_same_inputs(self):
+        a = retry_backoff(3, base_s=0.1, cap_s=5.0, seed=42, key="contour@128")
+        b = retry_backoff(3, base_s=0.1, cap_s=5.0, seed=42, key="contour@128")
+        assert a == b
+
+    def test_distinct_keys_decorrelate(self):
+        # The point of jitter: two jobs failing in lockstep must not
+        # retry in lockstep.
+        delays = {
+            retry_backoff(3, base_s=0.1, cap_s=5.0, seed=42, key=f"job-{i}")
+            for i in range(16)
+        }
+        assert len(delays) == 16
+
+    def test_distinct_seeds_decorrelate(self):
+        a = retry_backoff(3, base_s=0.1, cap_s=5.0, seed=1, key="k")
+        b = retry_backoff(3, base_s=0.1, cap_s=5.0, seed=2, key="k")
+        assert a != b
+
+    @pytest.mark.parametrize("attempt", [0, -1, -100])
+    def test_nonpositive_attempt_is_zero(self, attempt):
+        assert retry_backoff(attempt, base_s=0.1) == 0.0
+
+    def test_disabled_base_is_zero(self):
+        assert retry_backoff(3, base_s=0.0) == 0.0
+        assert retry_backoff(3, base_s=-1.0) == 0.0

@@ -1,0 +1,150 @@
+"""Service-layer chaos: injector decisions, WAL tearing, the full drill."""
+
+import json
+
+import pytest
+
+from repro.core import StudyConfig
+from repro.faults import (
+    SERVICE_PLANS,
+    ServiceChaosReport,
+    ServiceFaultInjector,
+    get_service_plan,
+    run_service_chaos,
+    tear_wal_tail,
+)
+from repro.faults.plan import InjectedFault
+from repro.serve import WriteAheadLog
+
+pytestmark = pytest.mark.timeout(600)
+
+CFG = StudyConfig(name="t", algorithms=("threshold",), sizes=(12,))
+
+
+class TestServiceFaultInjector:
+    def test_plans_registry(self):
+        assert set(SERVICE_PLANS) >= {"none", "default", "crashy", "torn"}
+        assert SERVICE_PLANS["none"].job_crash_p == 0.0
+        assert SERVICE_PLANS["default"].torn_wal
+
+    def test_get_service_plan_returns_fresh_counters(self):
+        a = get_service_plan("default")
+        a.crashes_injected = 5
+        b = get_service_plan("default")
+        assert b.crashes_injected == 0
+
+    def test_unknown_plan_lists_names(self):
+        with pytest.raises(ValueError, match="crashy"):
+            get_service_plan("nope")
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError, match="probability"):
+            ServiceFaultInjector(job_crash_p=1.5)
+
+    def test_crash_budget_is_respected(self):
+        inj = ServiceFaultInjector(job_crash_p=1.0, max_crashes=2, crash_after_groups=1)
+        for attempt in range(5):
+            events = []
+            progress = inj.wrap_progress("job-x", attempt, events.append)
+            try:
+                progress({"kind": "profile-done"})
+            except InjectedFault:
+                pass
+        assert inj.crashes_injected == 2  # budget, not 5
+
+    def test_wrapped_progress_forwards_events_before_crashing(self):
+        inj = ServiceFaultInjector(job_crash_p=1.0, max_crashes=1, crash_after_groups=2)
+        events = []
+        progress = inj.wrap_progress("job-x", 0, events.append)
+        progress({"kind": "profile-done"})  # 1 of 2: no crash yet
+        with pytest.raises(InjectedFault) as err:
+            progress({"kind": "profile-done"})
+        assert err.value.injected  # marked so the supervisor can count it
+        assert len(events) == 2  # the inner progress saw everything
+
+    def test_stall_budget(self):
+        inj = ServiceFaultInjector(heartbeat_stall_p=1.0, max_stalls=1)
+        fired = [inj.stall_heartbeat(f"job-{i}", "w0") for i in range(4)]
+        assert sum(fired) == 1
+
+    def test_duplicate_fires_once_per_job(self):
+        inj = ServiceFaultInjector(duplicate_delivery_p=1.0)
+        assert inj.duplicate_claim("job-x")
+        assert not inj.duplicate_claim("job-x")
+        assert inj.duplicates_injected == 1
+
+    def test_decisions_are_seeded(self):
+        a = ServiceFaultInjector(duplicate_delivery_p=0.5, seed=1)
+        b = ServiceFaultInjector(duplicate_delivery_p=0.5, seed=1)
+        jobs = [f"job-{i}" for i in range(32)]
+        assert [a.duplicate_claim(j) for j in jobs] == [b.duplicate_claim(j) for j in jobs]
+
+
+class TestTearWalTail:
+    def test_tears_only_the_last_record(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl")
+        wal.append({"kind": "submit", "job_id": "job-1", "spec": {}, "t": 1.0})
+        wal.append({"kind": "submit", "job_id": "job-2", "spec": {}, "t": 2.0})
+        removed = tear_wal_tail(tmp_path / "wal.jsonl")
+        assert removed > 0
+        survivors = [r["job_id"] for r in WriteAheadLog(tmp_path / "wal.jsonl").replay()]
+        assert survivors == ["job-1"]  # job-2's record is the torn tail
+
+
+class TestChaosReport:
+    def test_survived_requires_every_clause(self):
+        good = ServiceChaosReport(
+            plan="p", config="c", n_jobs=2, completed=2, failed=0, lost=0
+        )
+        assert good.survived
+        for broken in (
+            dict(completed=1),
+            dict(failed=1),
+            dict(lost=1),
+            dict(bitwise_identical=False),
+            dict(replay_consistent=False),
+        ):
+            fields = {"completed": 2, "failed": 0, "lost": 0, **broken}
+            report = ServiceChaosReport(plan="p", config="c", n_jobs=2, **fields)
+            assert not report.survived, broken
+
+    def test_render_names_the_contract(self):
+        text = ServiceChaosReport(
+            plan="default", config="phase1", n_jobs=2, completed=2
+        ).render()
+        assert "2/2 completed" in text
+        assert "bitwise identical" in text
+        assert "replay converges" in text
+
+
+class TestRunServiceChaos:
+    def test_default_plan_survives(self, tmp_path):
+        report = run_service_chaos(
+            CFG, "default", spool=tmp_path / "spool", n_jobs=2, n_cycles=2
+        )
+        assert report.survived, report.render()
+        # The drill must actually have hurt: crashes and duplicates fired,
+        # the WAL was torn, and the queue recovered from all of it.
+        assert report.crashes_injected >= 1
+        assert report.torn_bytes > 0
+        assert report.completed == 2 and report.lost == 0
+
+    def test_none_plan_is_a_clean_run(self, tmp_path):
+        report = run_service_chaos(
+            CFG, "none", spool=tmp_path / "spool", n_jobs=1, n_cycles=2
+        )
+        assert report.survived
+        assert report.crashes_injected == 0
+        assert report.stalls_injected == 0
+        assert report.torn_bytes == 0
+
+    def test_chaos_seed_override_still_survives(self, tmp_path):
+        # Counts are timing-dependent (a duplicate only fires while the
+        # dispatcher observes the job running), so assert the contract,
+        # not the exact schedule, under re-seeded plans.
+        for seed in (1, 2):
+            report = run_service_chaos(
+                CFG, "crashy", spool=tmp_path / f"s{seed}",
+                n_jobs=1, n_cycles=2, chaos_seed=seed,
+            )
+            assert report.survived, report.render()

@@ -218,3 +218,134 @@ class TestTelemetryCommands:
         assert main(["metrics", str(metrics), "--format", "json"]) == 0
         out = capsys.readouterr().out
         assert '"format": "repro-metrics"' in out
+
+
+class TestAdviseServeHardening:
+    def _serve(self, monkeypatch, small, lines):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+        return main([
+            "advise", "--serve",
+            "--cache", str(small / "ledgers.json"), "--cycles", "2",
+        ])
+
+    def test_oversized_line_is_answered_and_loop_survives(
+        self, capsys, small, monkeypatch
+    ):
+        import json
+
+        huge = json.dumps({"algorithm": "threshold", "size": 12, "pad": "x" * 70_000})
+        good = json.dumps({"algorithm": "threshold", "size": 12, "id": 9})
+        rc = self._serve(monkeypatch, small, huge + "\n" + good + "\n")
+        assert rc == 0
+        out = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert len(out) == 2
+        assert not out[0]["ok"] and "exceeds" in out[0]["error"]
+        assert out[1]["ok"] and out[1]["id"] == 9  # the loop kept serving
+
+    def test_invalid_json_is_answered_not_fatal(self, capsys, small, monkeypatch):
+        import json
+
+        good = json.dumps({"algorithm": "threshold", "size": 12})
+        rc = self._serve(monkeypatch, small, "{truncated\n" + good + "\n")
+        assert rc == 0
+        out = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert not out[0]["ok"]
+        assert out[1]["ok"]
+
+    def test_errors_are_counted_by_reason(self, small, monkeypatch, capsys):
+        from repro.obs.metrics import get_registry
+
+        counter = get_registry().counter(
+            "repro_advise_errors_total", reason="invalid-json"
+        )
+        before = counter.value
+        assert self._serve(monkeypatch, small, "nope\n") == 0
+        capsys.readouterr()
+        assert counter.value == before + 1
+
+
+class TestServeAndJobsCommands:
+    def test_jobs_submit_then_serve_drain_completes(self, capsys, small):
+        import json
+
+        spool = str(small / "spool")
+        rc = main(["jobs", spool, "--submit", "phase1", "--cycles", "2",
+                   "--cache", ""])
+        assert rc == 0
+        receipt = json.loads(capsys.readouterr().out)
+        assert receipt["ok"] and receipt["status"] == "queued"
+
+        rc = main(["serve", spool, "--drain", "--lease", "5", "--cycles", "2",
+                   "--cache", ""])
+        assert rc == 0
+        assert "1 completed, 0 failed" in capsys.readouterr().out
+
+        rc = main(["jobs", spool, "--status", receipt["job_id"], "--cache", ""])
+        assert rc == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["status"] == "completed" and snap["points"] > 0
+
+    def test_jobs_cancel_and_report(self, capsys, small):
+        import json
+
+        spool = str(small / "spool")
+        assert main(["jobs", spool, "--submit", "phase1", "--cache", ""]) == 0
+        job_id = json.loads(capsys.readouterr().out)["job_id"]
+        assert main(["jobs", spool, "--cancel", job_id, "--report",
+                     "--cache", ""]) == 0
+        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert lines[0]["op"] == "cancel" and lines[0]["status"] == "cancelled"
+        assert lines[1]["op"] == "report"
+        assert lines[1]["counts"]["cancelled"] == 1
+
+    def test_jobs_unknown_id_exits_nonzero(self, capsys, small):
+        import json
+
+        rc = main(["jobs", str(small / "spool"), "--status", "job-nope",
+                   "--cache", ""])
+        assert rc == 1
+        assert not json.loads(capsys.readouterr().out)["ok"]
+
+    def test_jobs_stdin_protocol_survives_bad_requests(
+        self, capsys, small, monkeypatch
+    ):
+        import io
+        import json
+
+        spool = str(small / "spool")
+        lines = "\n".join([
+            json.dumps({"op": "submit", "study": "phase1", "id": 1}),
+            "not json at all",
+            json.dumps({"op": "bogus", "id": 2}),
+            json.dumps({"op": "report", "id": 3}),
+        ])
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+        rc = main(["jobs", spool, "--cycles", "2", "--cache", ""])
+        assert rc == 0
+        out = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert len(out) == 4
+        assert out[0]["ok"] and out[0]["id"] == 1 and out[0]["status"] == "queued"
+        assert not out[1]["ok"]
+        assert not out[2]["ok"] and "unknown op" in out[2]["error"]
+        assert out[3]["ok"] and out[3]["id"] == 3
+        assert out[3]["counts"]["pending"] == 1
+
+    def test_chaos_service_plan_requires_service_flag(self, capsys, small):
+        rc = main(["chaos", "--plan", "torn", "--cache", ""])
+        assert rc == 2
+        assert "--service" in capsys.readouterr().err
+
+
+class TestChaosServiceCommand:
+    def test_service_drill_reports_survival(self, capsys, small):
+        rc = main([
+            "chaos", "--service", "--plan", "torn",
+            "--spool", str(small / "spool"), "--jobs", "1", "--cycles", "2",
+            "--cache", "",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "service chaos report" in out
+        assert "bitwise identical" in out

@@ -1,0 +1,205 @@
+"""WAL append/poll/replay and the derived QueueState machine."""
+
+import json
+
+import pytest
+
+from repro.serve import (
+    TERMINAL_STATUSES,
+    WAL_FORMAT,
+    WAL_VERSION,
+    QueueState,
+    WriteAheadLog,
+)
+
+pytestmark = pytest.mark.timeout(60)
+
+SPEC = {"study": {"name": "t"}, "max_retries": 2}
+
+
+def submit(job_id="job-1", t=1.0):
+    return {"kind": "submit", "job_id": job_id, "spec": SPEC, "t": t}
+
+
+class TestWriteAheadLog:
+    def test_new_file_gets_header(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl")
+        first = json.loads((tmp_path / "wal.jsonl").read_text().splitlines()[0])
+        assert first == {"format": WAL_FORMAT, "version": WAL_VERSION}
+        assert wal.poll() == []  # header is not a queue record
+
+    def test_poll_returns_only_new_records(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl")
+        wal.append(submit("job-1"))
+        assert [r["job_id"] for r in wal.poll()] == ["job-1"]
+        assert wal.poll() == []
+        wal.append(submit("job-2"))
+        assert [r["job_id"] for r in wal.poll()] == ["job-2"]
+
+    def test_replay_rereads_from_the_top(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl")
+        wal.append(submit("job-1"))
+        wal.append({"kind": "claim", "job_id": "job-1", "worker": "w0",
+                    "deadline_t": 9.0, "t": 2.0})
+        assert len(wal.poll()) == 2
+        assert [r["kind"] for r in wal.replay()] == ["submit", "claim"]
+
+    def test_torn_tail_is_invisible_until_terminated(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.append(submit("job-1"))
+        line = json.dumps(submit("job-2"))
+        with open(path, "a") as fh:  # a crashed writer's partial record
+            fh.write(line[: len(line) // 2])
+        assert [r["job_id"] for r in wal.poll()] == ["job-1"]
+        assert wal.corrupt_lines == 0  # not corrupt yet, just unfinished
+
+    def test_append_repairs_torn_tail_before_writing(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.append(submit("job-1"))
+        with open(path, "a") as fh:
+            fh.write(json.dumps(submit("job-2"))[:30])
+        wal.append(submit("job-3"))  # must NOT concatenate onto the tear
+        records = wal.replay()
+        assert [r["job_id"] for r in records] == ["job-1", "job-3"]
+        assert wal.corrupt_lines == 1  # the terminated partial line
+
+    def test_corrupt_interior_line_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.append(submit("job-1"))
+        with open(path, "a") as fh:
+            fh.write("{not json}\n")
+        wal.append(submit("job-2"))
+        assert [r["job_id"] for r in wal.replay()] == ["job-1", "job-2"]
+        assert wal.corrupt_lines == 1
+
+    def test_shrunk_file_replays_from_start(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.append(submit("job-1"))
+        wal.poll()
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])  # external truncation
+        wal.append(submit("job-2"))
+        job_ids = [r["job_id"] for r in wal.poll()]
+        assert "job-2" in job_ids  # offset reset, nothing silently lost
+
+    def test_concurrent_appends_from_second_handle(self, tmp_path):
+        # Client submissions land in a live daemon's WAL via a second
+        # WriteAheadLog over the same file.
+        path = tmp_path / "wal.jsonl"
+        daemon = WriteAheadLog(path)
+        client = WriteAheadLog(path)
+        client.append(submit("job-1"))
+        assert [r["job_id"] for r in daemon.poll()] == ["job-1"]
+
+
+class TestQueueState:
+    def apply(self, *records):
+        state = QueueState()
+        state.apply_all(records)
+        return state
+
+    def test_submit_creates_pending_job(self):
+        state = self.apply(submit())
+        job = state.jobs["job-1"]
+        assert job.status == "pending"
+        assert job.spec == SPEC
+        assert job.submitted_t == 1.0
+
+    def test_duplicate_submit_ignored(self):
+        state = self.apply(submit(), submit())
+        assert len(state.jobs) == 1
+        assert state.duplicates_ignored == 1
+
+    def test_claim_heartbeat_complete_lifecycle(self):
+        state = self.apply(
+            submit(),
+            {"kind": "claim", "job_id": "job-1", "worker": "w0",
+             "deadline_t": 5.0, "t": 2.0},
+            {"kind": "heartbeat", "job_id": "job-1", "deadline_t": 8.0, "t": 3.0},
+            {"kind": "complete", "job_id": "job-1", "points": 9,
+             "store": "s.jsonl", "t": 4.0},
+        )
+        job = state.jobs["job-1"]
+        assert job.status == "completed"
+        assert job.points == 9 and job.store == "s.jsonl"
+        assert state.breaker_streak == 0
+
+    def test_heartbeat_never_shortens_a_lease(self):
+        state = self.apply(
+            submit(),
+            {"kind": "claim", "job_id": "job-1", "worker": "w0",
+             "deadline_t": 9.0, "t": 2.0},
+            {"kind": "heartbeat", "job_id": "job-1", "deadline_t": 4.0, "t": 3.0},
+        )
+        assert state.jobs["job-1"].lease_deadline_t == 9.0
+
+    def test_requeue_returns_job_to_pending_with_backoff_gate(self):
+        state = self.apply(
+            submit(),
+            {"kind": "claim", "job_id": "job-1", "worker": "w0",
+             "deadline_t": 5.0, "t": 2.0},
+            {"kind": "requeue", "job_id": "job-1", "reason": "retry",
+             "failures": 1, "not_before_t": 7.5, "t": 3.0},
+        )
+        job = state.jobs["job-1"]
+        assert job.status == "pending" and job.worker is None
+        assert job.failures == 1 and job.not_before_t == 7.5
+        assert state.breaker_streak == 1
+        assert state.eligible(now_t=7.0) == []
+        assert [j.job_id for j in state.eligible(now_t=8.0)] == ["job-1"]
+
+    def test_terminal_states_are_sticky(self):
+        # A straggler complete from a still-running delivery must not
+        # resurrect a cancelled job.
+        state = self.apply(
+            submit(),
+            {"kind": "cancel", "job_id": "job-1", "t": 2.0},
+            {"kind": "complete", "job_id": "job-1", "points": 9, "t": 3.0},
+        )
+        assert state.jobs["job-1"].status == "cancelled"
+
+    def test_duplicate_complete_counted_not_double_applied(self):
+        state = self.apply(
+            submit(),
+            {"kind": "complete", "job_id": "job-1", "points": 9, "t": 2.0},
+            {"kind": "complete", "job_id": "job-1", "points": 9, "t": 3.0},
+        )
+        assert state.counts()["completed"] == 1
+        assert state.duplicates_ignored == 1
+
+    def test_orphan_records_counted(self):
+        # e.g. the submit line was the one lost to a torn tail
+        state = self.apply({"kind": "complete", "job_id": "ghost", "t": 1.0})
+        assert state.orphan_records == 1
+        assert state.jobs == {}
+
+    def test_fail_is_terminal_and_trips_streak(self):
+        state = self.apply(
+            submit(),
+            {"kind": "fail", "job_id": "job-1", "error": "boom",
+             "failures": 3, "t": 2.0},
+        )
+        job = state.jobs["job-1"]
+        assert job.status == "failed" and job.error == "boom"
+        assert job.status in TERMINAL_STATUSES
+        assert state.breaker_streak == 1
+
+    def test_breaker_record_updates_state(self):
+        state = self.apply({"kind": "breaker", "state": "open", "t": 5.0})
+        assert state.breaker == "open" and state.breaker_t == 5.0
+
+    def test_replay_is_idempotent(self):
+        records = [
+            submit(),
+            {"kind": "claim", "job_id": "job-1", "worker": "w0",
+             "deadline_t": 5.0, "t": 2.0},
+            {"kind": "complete", "job_id": "job-1", "points": 9, "t": 3.0},
+        ]
+        once = self.apply(*records)
+        twice = self.apply(*(records + records))
+        assert once.counts() == twice.counts()
+        assert once.jobs["job-1"].snapshot() == twice.jobs["job-1"].snapshot()
