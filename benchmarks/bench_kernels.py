@@ -20,11 +20,20 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 import pytest
 
-from repro.core.benchtrack import DEFAULT_BENCH_PATH, BenchTracker, time_kernel
+from repro.core.benchtrack import (
+    DEFAULT_BENCH_PATH,
+    SPEEDUP_FLOORS,
+    BenchTracker,
+    check_floors,
+    format_trend,
+    time_kernel,
+    trend_rows,
+)
 from repro.data.generators import make_dataset
 from repro.harness import effective_sizes
 from repro.viz import ALGORITHMS
@@ -36,9 +45,11 @@ EXTRACTION_KERNELS = ("contour", "threshold", "clip", "isovolume", "slice")
 #: is dominated by fixed factors: seeds x steps, rays x images).
 RENDER_KERNELS = ("advection", "raytrace", "volume")
 
-#: Minimum speedup vs the recorded pre-optimization baseline (PR 3's
-#: acceptance criteria).  Only checked when the baseline is present.
-SPEEDUP_FLOORS = {("contour", 128): 3.0, ("clip", 128): 2.0, ("isovolume", 128): 2.0}
+#: At the Table 3 scale (256³ and up) only the floored tentpole kernels
+#: are timed — a full-suite pass would take minutes for kernels with no
+#: acceptance criterion at that size.
+LARGE_SIZE = 256
+LARGE_KERNELS = ("contour", "clip", "isovolume")
 
 _DATASETS: dict[int, object] = {}
 
@@ -55,13 +66,32 @@ def run_suite(
     repeats: int = 3,
     path: str | Path = DEFAULT_BENCH_PATH,
     save: bool = True,
+    kernels: list[str] | None = None,
+    budget_s: float | None = None,
 ) -> BenchTracker:
-    """Time every kernel, record into the trajectory file, return it."""
+    """Time every kernel, record into the trajectory file, return it.
+
+    ``kernels`` restricts the suite (default: all); ``budget_s`` is a
+    soft wall-clock bound — once elapsed time crosses it, remaining
+    (kernel, size) pairs are skipped and reported, so a time-bounded CI
+    smoke can run the 256³ tier without an unbounded tail.  Sizes at or
+    above :data:`LARGE_SIZE` only time the :data:`LARGE_KERNELS`.
+    """
     tracker = BenchTracker(path)
     sizes = sorted(set(sizes))
+    wanted = set(kernels) if kernels else set(EXTRACTION_KERNELS + RENDER_KERNELS)
+    t_start = time.perf_counter()
+    skipped: list[str] = []
     for kernel in EXTRACTION_KERNELS + RENDER_KERNELS:
+        if kernel not in wanted:
+            continue
         kernel_sizes = sizes if kernel in EXTRACTION_KERNELS else sizes[:1]
         for size in kernel_sizes:
+            if size >= LARGE_SIZE and kernel not in LARGE_KERNELS:
+                continue
+            if budget_s is not None and time.perf_counter() - t_start > budget_s:
+                skipped.append(f"{kernel}@{size}")
+                continue
             ds = _dataset(size)
             filt = ALGORITHMS[kernel]()
             timing = time_kernel(lambda: filt.execute(ds), repeats=repeats)
@@ -75,24 +105,11 @@ def run_suite(
             speed = entry.get("speedup_vs_baseline")
             note = f"  ({speed:.2f}x vs baseline)" if speed else ""
             print(f"{kernel:>10s} @ {size:>3d}^3: {entry['seconds']:.3f}s{note}")
+    if skipped:
+        print(f"budget of {budget_s:.0f}s exhausted; skipped: {', '.join(skipped)}")
     if save:
         tracker.save()
     return tracker
-
-
-def check_floors(tracker: BenchTracker) -> list[str]:
-    """Return failure messages for any measured kernel below its floor."""
-    failures = []
-    for (kernel, size), floor in SPEEDUP_FLOORS.items():
-        entry = tracker.get(kernel, size)
-        if entry is None or "speedup_vs_baseline" not in entry:
-            continue  # size not measured or no baseline recorded: nothing to check
-        if entry["speedup_vs_baseline"] < floor:
-            failures.append(
-                f"{kernel}@{size}^3: {entry['speedup_vs_baseline']:.2f}x < {floor}x floor "
-                f"({entry['seconds']:.3f}s vs baseline {entry['baseline_s']:.3f}s)"
-            )
-    return failures
 
 
 # --------------------------------------------------------------------- pytest
@@ -119,13 +136,25 @@ def main(argv: list[str] | None = None) -> int:
                         help="timed repetitions per kernel (min is recorded)")
     parser.add_argument("--path", default=str(DEFAULT_BENCH_PATH),
                         help="trajectory file to update")
+    parser.add_argument("--kernels", nargs="+", default=None,
+                        choices=EXTRACTION_KERNELS + RENDER_KERNELS,
+                        help="only time these kernels (default: all)")
+    parser.add_argument("--budget-s", type=float, default=None, metavar="S",
+                        help="soft wall-clock budget; remaining pairs are skipped")
     parser.add_argument("--no-check", action="store_true",
                         help="skip the speedup-floor regression check")
     args = parser.parse_args(argv)
 
     sizes = effective_sizes(tuple(args.sizes))
-    tracker = run_suite(list(sizes), repeats=args.repeats, path=args.path)
+    tracker = run_suite(
+        list(sizes),
+        repeats=args.repeats,
+        path=args.path,
+        kernels=args.kernels,
+        budget_s=args.budget_s,
+    )
     print(f"recorded {len(tracker)} entries -> {tracker.path}")
+    print(format_trend(trend_rows(tracker)))
     if not args.no_check:
         failures = check_floors(tracker)
         for msg in failures:

@@ -20,6 +20,7 @@
     python -m repro trace sweep.trace.jsonl
     python -m repro metrics sweep.metrics.json --format prom
     python -m repro lint --stats                      # static-analysis gate
+    python -m repro bench --trend --check             # kernel perf trajectory
 
 ``sweep`` runs a phase grid through the parallel engine with a
 resumable result store: kill it mid-run and re-invoke with the same
@@ -569,6 +570,26 @@ def cmd_advise(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from .core.benchtrack import BenchTracker, check_floors, format_trend, trend_rows
+
+    try:
+        tracker = BenchTracker(args.path)
+    except (ValueError, OSError) as exc:
+        print(f"bench: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    if not len(tracker):
+        print(f"bench: no entries in {tracker.path}", file=sys.stderr)
+        return 2
+    print(format_trend(trend_rows(tracker)))
+    if args.check:
+        failures = check_floors(tracker)
+        for msg in failures:
+            print("REGRESSION:", msg, file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
 def cmd_trace(args) -> int:
     from .obs.trace import read_trace, render_summary, summarize_trace
 
@@ -794,6 +815,23 @@ def _build_parser() -> argparse.ArgumentParser:
     doctor.add_argument("--lint", action="store_true",
                         help="also run the static-analysis gate over the repro package")
 
+    bench = sub.add_parser(
+        "bench",
+        help="show the kernel benchmark trajectory (speedup vs floors)",
+        description="Read BENCH_kernels.json and print the kernel × size "
+        "trajectory table: measured seconds, pre-optimization baseline, "
+        "speedup, and the acceptance floor where one exists. --check "
+        "exits non-zero if any measured kernel sits below its floor "
+        "(the CI regression gate). Re-measure with "
+        "benchmarks/bench_kernels.py.",
+    )
+    bench.add_argument("--path", default="BENCH_kernels.json", metavar="PATH",
+                       help="trajectory file to read (default: BENCH_kernels.json)")
+    bench.add_argument("--trend", action="store_true",
+                       help="print the trajectory table (the default action)")
+    bench.add_argument("--check", action="store_true",
+                       help="exit 1 if any measured kernel is below its speedup floor")
+
     trace = sub.add_parser(
         "trace",
         help="per-phase breakdown of a sweep/chaos trace file",
@@ -852,6 +890,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_doctor(args)
     if args.command == "lint":
         return cmd_lint(args)
+    if args.command == "bench":
+        return cmd_bench(args)
     if args.command == "trace":
         return cmd_trace(args)
     if args.command == "metrics":

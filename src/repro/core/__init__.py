@@ -9,12 +9,26 @@ from .pricing import (
     ledger_key,
     machine_spec_hash,
 )
-from .benchtrack import BenchTracker, time_kernel
+from .benchtrack import (
+    SPEEDUP_FLOORS,
+    BenchTracker,
+    check_floors,
+    format_trend,
+    time_kernel,
+    trend_rows,
+)
 from .classify import Classification, PowerClass, classify, classify_result
-from .engine import EngineStats, ProfileJob, SweepEngine, SweepError
+from .engine import EngineStats, ProfileJob, ShardTask, SweepEngine, SweepError
 from .metrics import SLOWDOWN_THRESHOLD, Ratios, element_rate, energy_delay_product, first_slowdown_cap
 from .predict import ClassPrediction, predict_class, predicted_cap
-from .profiles import ProfileCache, profile_from_ledger, run_algorithm_ledger
+from .profiles import (
+    ProfileCache,
+    merge_shard_ledgers,
+    profile_from_ledger,
+    run_algorithm_ledger,
+    run_algorithm_ledger_shard,
+    supports_sharding,
+)
 from .report import (
     FigureSeries,
     figure2_series,
@@ -58,6 +72,7 @@ __all__ = [
     "SweepError",
     "EngineStats",
     "ProfileJob",
+    "ShardTask",
     "ResultStore",
     "StoreMismatchError",
     "sweep_fingerprint",
@@ -68,8 +83,15 @@ __all__ = [
     "ProfileCache",
     "profile_from_ledger",
     "run_algorithm_ledger",
+    "run_algorithm_ledger_shard",
+    "merge_shard_ledgers",
+    "supports_sharding",
     "BenchTracker",
     "time_kernel",
+    "SPEEDUP_FLOORS",
+    "trend_rows",
+    "format_trend",
+    "check_floors",
     "atomic_write_json",
     "atomic_write_text",
     "PowerClass",

@@ -16,7 +16,15 @@ trajectory point the next one can regress against:
 Entries are keyed ``kernel/size``; recording the same key again
 overwrites the measurement but preserves ``baseline_s`` (the pre-
 optimization reference time) unless a new baseline is given, and keeps
-``speedup_vs_baseline`` up to date.
+``speedup_vs_baseline`` up to date.  A key recorded without any
+baseline anchors to the best available reference — the previous
+measurement if one exists, else itself — so every entry carries a
+``baseline_s`` and the trajectory has no un-regressable gaps.
+
+:data:`SPEEDUP_FLOORS` pins the acceptance floors (kernel, size) →
+minimum speedup vs that baseline; :func:`trend_rows` /
+:func:`format_trend` / :func:`check_floors` turn the document into the
+``repro bench --trend`` table and the CI regression gate.
 """
 
 from __future__ import annotations
@@ -29,13 +37,35 @@ from typing import Any, Callable
 from ..obs.metrics import get_registry
 from .atomicio import atomic_write_json
 
-__all__ = ["BenchTracker", "time_kernel", "DEFAULT_BENCH_PATH"]
+__all__ = [
+    "BenchTracker",
+    "time_kernel",
+    "DEFAULT_BENCH_PATH",
+    "SPEEDUP_FLOORS",
+    "trend_rows",
+    "format_trend",
+    "check_floors",
+]
 
 BENCH_FORMAT = "repro-bench-kernels"
 BENCH_VERSION = 1
 
 #: Repo-root trajectory file (CI uploads it as an artifact per PR).
 DEFAULT_BENCH_PATH = Path("BENCH_kernels.json")
+
+#: Acceptance floors: minimum speedup vs the recorded pre-optimization
+#: baseline per (kernel, size).  The 128³ entries are PR 3's tiling/
+#: culling floors; the 256³ entries are the Table 3 scale floors from
+#: the tiled + counts-only kernel rework.  Only enforced where the size
+#: was measured with a baseline present.
+SPEEDUP_FLOORS: dict[tuple[str, int], float] = {
+    ("contour", 128): 3.0,
+    ("clip", 128): 2.0,
+    ("isovolume", 128): 2.0,
+    ("contour", 256): 2.0,
+    ("clip", 256): 2.0,
+    ("isovolume", 256): 2.0,
+}
 
 
 def time_kernel(
@@ -100,12 +130,19 @@ class BenchTracker:
         ``baseline_s`` pins the reference time the speedup is computed
         against.  Omitted, any previously recorded baseline is kept, so
         re-running the suite updates the measurement while preserving
-        the pre-optimization anchor.
+        the pre-optimization anchor.  A key with no baseline anywhere
+        backfills one — the previous measurement when the key was
+        recorded before, else this measurement itself — so every entry
+        carries a reference the next PR can regress against.
         """
         key = self.key(kernel, size)
         prev = self.entries.get(key, {})
         if baseline_s is None:
             baseline_s = prev.get("baseline_s")
+        if baseline_s is None:
+            baseline_s = prev.get("seconds")
+        if baseline_s is None:
+            baseline_s = float(seconds)
         # Mirror into the process metrics registry so a benchmark run
         # shows up in `repro metrics` output alongside sweep counters.
         get_registry().histogram(
@@ -138,3 +175,63 @@ class BenchTracker:
 
     def __len__(self) -> int:
         return len(self.entries)
+
+
+# ----------------------------------------------------------------- trajectory
+def trend_rows(tracker: BenchTracker) -> list[dict[str, Any]]:
+    """Flatten the trajectory into kernel × size rows, floors attached.
+
+    Rows are ordered kernel-then-size; ``ok`` is False only where a
+    floor exists and the measured speedup (baseline present) sits below
+    it — un-floored or baseline-less rows never fail.
+    """
+    rows = []
+    for entry in sorted(
+        tracker.entries.values(), key=lambda e: (e["kernel"], int(e["size"]))
+    ):
+        kernel, size = entry["kernel"], int(entry["size"])
+        speedup = entry.get("speedup_vs_baseline")
+        floor = SPEEDUP_FLOORS.get((kernel, size))
+        rows.append(
+            {
+                "kernel": kernel,
+                "size": size,
+                "seconds": float(entry["seconds"]),
+                "baseline_s": entry.get("baseline_s"),
+                "speedup": speedup,
+                "floor": floor,
+                "ok": floor is None or speedup is None or speedup >= floor,
+            }
+        )
+    return rows
+
+
+def format_trend(rows: list[dict[str, Any]]) -> str:
+    """Render trend rows as the ``repro bench --trend`` table."""
+    lines = [
+        f"{'kernel':>10s} {'size':>6s} {'seconds':>9s} {'baseline':>9s} "
+        f"{'speedup':>8s} {'floor':>6s}"
+    ]
+    for r in rows:
+        base = f"{r['baseline_s']:.3f}s" if r["baseline_s"] is not None else "-"
+        speed = f"{r['speedup']:.2f}x" if r["speedup"] is not None else "-"
+        floor = f"{r['floor']:.1f}x" if r["floor"] is not None else "-"
+        flag = "" if r["ok"] else "  << BELOW FLOOR"
+        lines.append(
+            f"{r['kernel']:>10s} {r['size']:>4d}^3 {r['seconds']:>8.3f}s "
+            f"{base:>9s} {speed:>8s} {floor:>6s}{flag}"
+        )
+    return "\n".join(lines)
+
+
+def check_floors(tracker: BenchTracker) -> list[str]:
+    """Failure messages for every measured kernel below its speedup floor."""
+    failures = []
+    for r in trend_rows(tracker):
+        if r["ok"]:
+            continue
+        failures.append(
+            f"{r['kernel']}@{r['size']}^3: {r['speedup']:.2f}x < {r['floor']}x floor "
+            f"({r['seconds']:.3f}s vs baseline {r['baseline_s']:.3f}s)"
+        )
+    return failures

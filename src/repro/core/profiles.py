@@ -12,6 +12,11 @@ This module owns that bridge for the whole repo:
 
 * :func:`run_algorithm_ledger` — execute the real algorithm, return its
   ledger (the sweep engine's worker-process job body).
+* :func:`run_algorithm_ledger_shard` — execute one k-span shard of a
+  shardable algorithm (``Filter.apply_shard``), returning the span's
+  partial ledger; :func:`merge_shard_ledgers` sums the spans back into
+  the serial ledger (bitwise, because every entry is an integer-valued
+  float).  Together they are the engine's process-sharded job body.
 * :func:`profile_from_ledger` — ledger → cycle-scaled
   :class:`~repro.workload.WorkProfile`, the single pricing path used by
   the engine, the harness, and the facade.
@@ -35,7 +40,14 @@ from ..viz.base import OpCounts
 from ..workload import WorkProfile
 from .atomicio import atomic_write_json
 
-__all__ = ["ProfileCache", "profile_from_ledger", "run_algorithm_ledger"]
+__all__ = [
+    "ProfileCache",
+    "merge_shard_ledgers",
+    "profile_from_ledger",
+    "run_algorithm_ledger",
+    "run_algorithm_ledger_shard",
+    "supports_sharding",
+]
 
 
 def run_algorithm_ledger(
@@ -51,6 +63,51 @@ def run_algorithm_ledger(
     ds = make_dataset(size, kind=dataset_kind, seed=seed)
     result = ALGORITHMS[algorithm]().execute(ds)
     return result.counts.as_dict()
+
+
+def supports_sharding(algorithm: str) -> bool:
+    """Whether the registry configuration of ``algorithm`` can shard."""
+    if algorithm not in ALGORITHMS:
+        raise KeyError(f"unknown algorithm {algorithm!r}")
+    return ALGORITHMS[algorithm]().supports_sharding
+
+
+def run_algorithm_ledger_shard(
+    algorithm: str,
+    size: int,
+    shard: int,
+    n_shards: int,
+    *,
+    dataset_kind: str = "blobs",
+    seed: int = 7,
+) -> dict[str, float]:
+    """Execute one k-span shard; return that span's partial ledger.
+
+    The shard covers cell planes ``shard_spans(nz, n_shards)[shard]``
+    via :meth:`~repro.viz.base.Filter.apply_shard` — ledger only, no
+    geometry — so independent worker processes can each run one span of
+    a large grid and :func:`merge_shard_ledgers` reassembles the exact
+    serial ledger.
+    """
+    if algorithm not in ALGORITHMS:
+        raise KeyError(f"unknown algorithm {algorithm!r}")
+    ds = make_dataset(size, kind=dataset_kind, seed=seed)
+    counts = OpCounts()
+    ALGORITHMS[algorithm]().apply_shard(ds, counts, shard, n_shards)
+    return counts.as_dict()
+
+
+def merge_shard_ledgers(parts) -> dict[str, float]:
+    """Sum partial shard ledgers (ascending shard order) into one ledger.
+
+    Every ledger entry is an integer-valued float far below 2^53, so the
+    keyed addition reproduces the serial single-pass ledger bitwise.
+    """
+    merged = OpCounts()
+    for part in parts:
+        for key, value in part.items():
+            merged.add(key, value)
+    return merged.as_dict()
 
 
 def profile_from_ledger(

@@ -15,7 +15,14 @@ import numpy as np
 
 from .grid import UniformGrid
 
-__all__ = ["Association", "Field", "DataSet", "recenter_to_points", "recenter_to_cells"]
+__all__ = [
+    "Association",
+    "Field",
+    "DataSet",
+    "recenter_to_points",
+    "recenter_to_cells",
+    "recenter_slab_to_cells",
+]
 
 
 class Association(Enum):
@@ -164,3 +171,24 @@ def recenter_to_cells(grid: UniformGrid, point_values: np.ndarray) -> np.ndarray
     ) / 8.0
     vec = point_values.ndim == 2
     return acc.reshape(grid.n_cells, 3) if vec else acc.reshape(grid.n_cells)
+
+
+def recenter_slab_to_cells(lat_slab: np.ndarray) -> np.ndarray:
+    """Corner mean over a scalar point-lattice slab view.
+
+    ``lat_slab`` has shape ``(kz + 1, ny + 1, nx + 1)``; returns the flat
+    ``(kz * ny * nx,)`` cell means in linear cell order.  The corners are
+    summed in exactly the order :func:`recenter_to_cells` uses, so the
+    result is bitwise identical to the matching rows of a full-lattice
+    recenter — the k-slab-tiled kernels use this to carry cell-centered
+    scalars per tile without materializing (or re-reading) the full
+    recentered field.
+    """
+    kz, ny, nx = (int(d) - 1 for d in lat_slab.shape)
+    acc = lat_slab[:kz, :ny, :nx].astype(np.float64)
+    for dk, dj, di in (
+        (0, 0, 1), (0, 1, 0), (0, 1, 1), (1, 0, 0), (1, 0, 1), (1, 1, 0), (1, 1, 1),
+    ):
+        acc += lat_slab[dk : dk + kz, dj : dj + ny, di : di + nx]
+    acc /= 8.0
+    return acc.reshape(-1)

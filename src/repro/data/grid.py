@@ -15,7 +15,13 @@ from functools import lru_cache
 
 import numpy as np
 
-__all__ = ["UniformGrid", "HEX_CORNER_OFFSETS", "corner_gather", "cell_corner_reduce"]
+__all__ = [
+    "UniformGrid",
+    "HEX_CORNER_OFFSETS",
+    "corner_gather",
+    "cell_corner_reduce",
+    "slab_corner_reduce",
+]
 
 # VTK/MC hexahedron corner ordering: bottom face CCW (z=0), then top face
 # (z=1).  Column k gives the (di, dj, dk) lattice offset of corner k.
@@ -68,6 +74,24 @@ def corner_gather(cell_dims: tuple[int, int, int]) -> tuple[np.ndarray, np.ndarr
     return base, strides
 
 
+def slab_corner_reduce(lat_slab: np.ndarray, ufunc: np.ufunc) -> np.ndarray:
+    """8-corner reduce over a point-lattice slab view.
+
+    ``lat_slab`` has shape ``(kz + 1, ny + 1, nx + 1)`` — the point
+    planes of a ``kz``-plane run of cells.  Returns the flat
+    ``(kz * ny * nx,)`` per-cell reduction in linear cell order.  The
+    shifted-view applications run in the same corner order as the full
+    reduce, so the result is bitwise identical to the matching rows of
+    ``cell_corner_reduce`` over the whole lattice — the property the
+    k-slab-tiled kernels (:mod:`repro.data.tiling`) rely on.
+    """
+    kz, ny, nx = (int(d) - 1 for d in lat_slab.shape)
+    out = lat_slab[:kz, :ny, :nx].copy()
+    for di, dj, dk in HEX_CORNER_OFFSETS[1:]:
+        ufunc(out, lat_slab[dk : dk + kz, dj : dj + ny, di : di + nx], out=out)
+    return out.reshape(-1)
+
+
 def cell_corner_reduce(
     cell_dims: tuple[int, int, int], point_values: np.ndarray, ufunc: np.ufunc
 ) -> np.ndarray:
@@ -82,10 +106,7 @@ def cell_corner_reduce(
     """
     nx, ny, nz = (int(d) for d in cell_dims)
     lat = np.asarray(point_values).reshape(nz + 1, ny + 1, nx + 1)
-    out = lat[:nz, :ny, :nx].copy()
-    for di, dj, dk in HEX_CORNER_OFFSETS[1:]:
-        ufunc(out, lat[dk : dk + nz, dj : dj + ny, di : di + nx], out=out)
-    return out.reshape(-1)
+    return slab_corner_reduce(lat, ufunc)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,85 @@
+"""Sharded kernel backend: threaded k-span fan-out with deterministic merge.
+
+``Filter.execute(backend="sharded")`` splits the lattice's k-axis into
+near-even contiguous spans (:func:`repro.data.tiling.shard_spans`) and
+runs each span's `_apply_span` hook on a thread pool.  Spans are
+independent by construction — every span reads only its own point
+planes (plus the shared boundary plane) and writes nothing shared — so
+the classification sweeps run concurrently wherever NumPy releases the
+GIL, and results merge in ascending span order regardless of completion
+order.  Determinism guarantees:
+
+* **Ledgers** merge by keyed addition in ascending span order; every
+  ledger entry is an integer-valued float far below 2^53, so the merged
+  totals equal the serial pass bitwise.
+* **Geometry** concatenates span payloads in ascending span order, the
+  same order the serial tiled pass visits them.
+
+The process-sharded path for GIL-bound classification lives in
+:mod:`repro.core.engine`: large profile jobs are split into
+:class:`~repro.core.engine.ShardTask`s, one per span, executed in pool
+worker processes via ``Filter.apply_shard`` and merged by
+:func:`repro.core.profiles.merge_shard_ledgers`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, TypeVar
+
+__all__ = ["ENV_SHARD_WORKERS", "resolve_shards", "run_spans"]
+
+#: Environment override for the default shard count / thread-pool width.
+ENV_SHARD_WORKERS = "REPRO_SHARD_WORKERS"
+
+T = TypeVar("T")
+
+
+def resolve_shards(shards: int | None, nz: int) -> int:
+    """Shard count for an ``nz``-plane lattice: arg > env > CPU count.
+
+    Clamped to ``[1, nz]`` — an extra shard beyond one-per-plane could
+    only ever hold an empty span.
+    """
+    if shards is None:
+        raw = os.environ.get(ENV_SHARD_WORKERS, "").strip()
+        if raw:
+            try:
+                shards = int(raw, 10)
+            except ValueError:
+                raise ValueError(
+                    f"{ENV_SHARD_WORKERS} must be a whole number, got {raw!r}"
+                ) from None
+        else:
+            shards = os.cpu_count() or 1
+    shards = int(shards)
+    if shards < 1:
+        raise ValueError(f"shards must be positive, got {shards}")
+    return max(1, min(shards, int(nz)))
+
+
+def run_spans(
+    fn: Callable[[int, int], T], spans: list[tuple[int, int]], *, max_workers: int | None = None
+) -> list[T]:
+    """Run ``fn(k_lo, k_hi)`` for every non-empty span; results in span order.
+
+    Non-empty spans execute concurrently on a thread pool (sized to the
+    span count, cappable via ``max_workers``); a single span runs inline.
+    The returned list is ordered by ascending span regardless of
+    completion order — the deterministic-merge contract.
+    """
+    work = [(i, k_lo, k_hi) for i, (k_lo, k_hi) in enumerate(spans) if k_hi > k_lo]
+    out: dict[int, T] = {}
+    if len(work) <= 1:
+        for i, k_lo, k_hi in work:
+            out[i] = fn(k_lo, k_hi)
+    else:
+        workers = min(len(work), max_workers or len(work))
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-shard"
+        ) as pool:
+            futures = [(i, pool.submit(fn, k_lo, k_hi)) for i, k_lo, k_hi in work]
+            for i, fut in futures:
+                out[i] = fut.result()
+    return [out[i] for i in sorted(out)]

@@ -20,11 +20,30 @@ from functools import lru_cache
 
 import numpy as np
 
-from ..data.grid import HEX_CORNER_OFFSETS, UniformGrid, cell_corner_reduce
+from ..data.grid import (
+    HEX_CORNER_OFFSETS,
+    UniformGrid,
+    cell_corner_reduce,
+    corner_gather,
+    slab_corner_reduce,
+)
 from ..data.mc_tables import CUBE_TETS
 from ..data.mesh import TetMesh
+from ..data.tiling import k_slabs, pick_tile_planes
 
-__all__ = ["tet_cut_recipes", "clip_grid_cells", "clip_tet_soup", "GridClipResult"]
+__all__ = [
+    "tet_cut_recipes",
+    "clip_grid_cells",
+    "clip_tet_soup",
+    "classify_slab",
+    "cut_cell_batch",
+    "GridClipResult",
+]
+
+#: Estimated live working bytes per cell for a one-sided grid clip tile:
+#: the g slab (8 B/point ≈ 8 B/cell), its sign field, the uint8 corner
+#: counts, and the straddle/kept index scratch.
+CLIP_TILE_BYTES_PER_CELL = 40.0
 
 # A recipe vertex is ("c", corner_index) — an original tet corner kept —
 # or ("e", i, j) — the g=0 crossing on edge (i, j), always ordered with
@@ -90,6 +109,44 @@ class GridClipResult:
         self.n_cells_straddling = int(n_cells_straddling)
 
 
+def classify_slab(g_slab_lat: np.ndarray) -> np.ndarray:
+    """Inside-corner counts for a point-``g`` lattice slab.
+
+    ``g_slab_lat`` has shape ``(kz + 1, py, px)``; returns the flat
+    uint8 ``(kz * ny * nx,)`` count of corners with ``g >= 0`` per cell,
+    bitwise identical to the matching rows of the full-lattice
+    classification (same sign test, same corner add order).
+    """
+    return slab_corner_reduce((g_slab_lat >= 0.0).view(np.uint8), np.add)
+
+
+def cut_cell_batch(
+    grid: UniformGrid,
+    cell_ids: np.ndarray,
+    gv: np.ndarray,
+    sv: np.ndarray,
+    keep_output: bool,
+) -> tuple[np.ndarray | None, np.ndarray | None, int]:
+    """Decompose straddling cells into cube tets and cut against ``g >= 0``.
+
+    ``gv``/``sv`` are ``(n, 8)`` corner g / carried-scalar values in VTK
+    corner order; world positions are derived from the global
+    ``cell_ids``.  Corner g / scalar / position per cell, per cube tet,
+    are cut as one batched ``(n*6, 4)`` call instead of six passes.
+    Returns ``(points, values, n_tets_out)`` like :func:`_cut_tets`.
+    """
+    spacing = np.asarray(grid.spacing)
+    corner_off = HEX_CORNER_OFFSETS.astype(np.float64) * spacing
+    tets_arr = np.asarray(CUBE_TETS, dtype=np.int64)  # (6, 4) corner ids
+    i, j, k = grid.cell_ijk(np.asarray(cell_ids, dtype=np.int64))
+    origins = np.stack([i, j, k], axis=1) * spacing + np.asarray(grid.origin)
+    tg = gv[:, tets_arr].reshape(-1, 4)                   # (ns*6, 4)
+    ts = sv[:, tets_arr].reshape(-1, 4)
+    tet_off = corner_off[tets_arr]                        # (6, 4, 3)
+    tpos = (origins[:, None, None, :] + tet_off[None, :, :, :]).reshape(-1, 4, 3)
+    return _cut_tets(tpos, tg, ts, keep_output)
+
+
 def clip_grid_cells(
     grid: UniformGrid,
     point_g: np.ndarray,
@@ -103,60 +160,109 @@ def clip_grid_cells(
 
     ``scalars`` (optional) is a point field carried through to the cut
     tets' vertices (isovolume needs the original scalar there).
+
+    The full-grid path walks the lattice in cache-sized k-slab tiles
+    (:mod:`repro.data.tiling`): classification never materializes a
+    grid-sized id or mask array, and only straddling cells — the ones
+    that actually get cut — are ever gathered.  Tiles are visited in
+    ascending k order, so kept ids come out in linear cell order and
+    every count matches the untiled pass bitwise; only the row order of
+    cut tets (content-identical) depends on the tiling.
     """
-    # Classification without the (n, 8) corner gather: count inside
-    # corners per cell as 8 shifted-lattice adds over the 0/1 sign field.
-    # Only straddling cells — the ones that actually get cut — are ever
-    # gathered, which is what makes the 128³+ clips cheap.
     g_flat = np.asarray(point_g, dtype=np.float64).reshape(-1)
-    n_in_full = cell_corner_reduce(
-        grid.cell_dims, (g_flat >= 0.0).astype(np.uint8), np.add
+    if cell_ids is not None:
+        return _clip_cells_subset(grid, g_flat, scalars, cell_ids, chunk_cells, keep_output)
+
+    nx, ny, nz = grid.cell_dims
+    px, py = nx + 1, ny + 1
+    g_lat = g_flat.reshape(nz + 1, py, px)
+    s_flat = None if scalars is None else np.asarray(scalars).reshape(-1)
+    tile = pick_tile_planes(
+        nx * ny, CLIP_TILE_BYTES_PER_CELL, n_planes=nz, ceiling_cells=chunk_cells
     )
-    if cell_ids is None:
-        cell_ids = np.arange(grid.n_cells, dtype=np.int64)
-        n_in = n_in_full
-    else:
-        cell_ids = np.asarray(cell_ids, dtype=np.int64)
-        n_in = n_in_full[cell_ids]
 
-    spacing = np.asarray(grid.spacing)
-    corner_off = HEX_CORNER_OFFSETS.astype(np.float64) * spacing
-    tets_arr = np.asarray(CUBE_TETS, dtype=np.int64)  # (6, 4) corner ids
+    kept_chunks: list[np.ndarray] = []
+    pts_chunks: list[np.ndarray] = []
+    val_chunks: list[np.ndarray] = []
+    n_tets_cut = 0
+    n_straddle = 0
+    for k0, k1 in k_slabs(0, nz, tile):
+        kz = k1 - k0
+        n_in = classify_slab(g_lat[k0 : k1 + 1])
+        kept_local = np.nonzero(n_in == 8)[0]
+        straddle_local = np.nonzero((n_in > 0) & (n_in < 8))[0]
+        cell_base = k0 * nx * ny
+        if kept_local.size:
+            kept_chunks.append(kept_local + cell_base)
+        n_straddle += straddle_local.size
+        base_l, strides = corner_gather((nx, ny, kz))
+        for start in range(0, straddle_local.size, chunk_cells):
+            loc = straddle_local[start : start + chunk_cells]
+            pids = (base_l[loc] + k0 * px * py)[:, None] + strides[None, :]
+            gv = g_flat[pids]  # (ns, 8)
+            sv = s_flat[pids] if s_flat is not None else gv
+            pts, vals, n_out = cut_cell_batch(grid, loc + cell_base, gv, sv, keep_output)
+            n_tets_cut += n_out
+            if keep_output and pts is not None:
+                pts_chunks.append(pts)
+                val_chunks.append(vals)
 
+    kept = (
+        np.concatenate(kept_chunks) if kept_chunks else np.empty(0, dtype=np.int64)
+    )
+    cut = _assemble_tets(pts_chunks, val_chunks) if keep_output else TetMesh.empty()
+    return GridClipResult(kept, cut, n_tets_cut, n_straddle)
+
+
+def _assemble_tets(
+    pts_chunks: list[np.ndarray], val_chunks: list[np.ndarray]
+) -> TetMesh:
+    """Concatenate tet-major point/value chunks into one soup mesh."""
+    if not pts_chunks:
+        return TetMesh.empty()
+    points = np.vstack(pts_chunks)
+    values = np.concatenate(val_chunks)
+    tets = np.arange(points.shape[0], dtype=np.int64).reshape(-1, 4)
+    return TetMesh(points, tets, values)
+
+
+def _clip_cells_subset(
+    grid: UniformGrid,
+    g_flat: np.ndarray,
+    scalars: np.ndarray | None,
+    cell_ids: np.ndarray,
+    chunk_cells: int,
+    keep_output: bool,
+) -> GridClipResult:
+    """Legacy dense path for an explicit cell subset.
+
+    Classifies the whole lattice once and indexes the caller's ids, so
+    the caller's id order is preserved exactly (the two-pass isovolume
+    formulation depended on that; the fused filter no longer calls
+    this, but the public API keeps it for subset callers).
+    """
+    cell_ids = np.asarray(cell_ids, dtype=np.int64)
+    n_in = cell_corner_reduce(
+        grid.cell_dims, (g_flat >= 0.0).astype(np.uint8), np.add
+    )[cell_ids]
     kept = cell_ids[n_in == 8]
     straddle_ids = cell_ids[(n_in > 0) & (n_in < 8)]
-    n_straddle = straddle_ids.size
 
     pts_chunks: list[np.ndarray] = []
     val_chunks: list[np.ndarray] = []
     n_tets_cut = 0
-
-    for start in range(0, n_straddle, chunk_cells):
+    for start in range(0, straddle_ids.size, chunk_cells):
         ids = straddle_ids[start : start + chunk_cells]
         cpids = grid.cell_point_ids(ids)
         gv = g_flat[cpids]  # (ns, 8)
         sv = scalars[cpids] if scalars is not None else gv
-        i, j, k = grid.cell_ijk(ids)
-        origins = np.stack([i, j, k], axis=1) * spacing + np.asarray(grid.origin)
-        # Corner g / scalar / position per straddling cell, per cube tet,
-        # cut as one batched (ns*6, 4) call instead of six passes.
-        tg = gv[:, tets_arr].reshape(-1, 4)                   # (ns*6, 4)
-        ts = sv[:, tets_arr].reshape(-1, 4)
-        tet_off = corner_off[tets_arr]                        # (6, 4, 3)
-        tpos = (origins[:, None, None, :] + tet_off[None, :, :, :]).reshape(-1, 4, 3)
-        pts, vals, n_out = _cut_tets(tpos, tg, ts, keep_output)
+        pts, vals, n_out = cut_cell_batch(grid, ids, gv, sv, keep_output)
         n_tets_cut += n_out
         if keep_output and pts is not None:
             pts_chunks.append(pts)
             val_chunks.append(vals)
-    if keep_output and pts_chunks:
-        points = np.vstack(pts_chunks)
-        values = np.concatenate(val_chunks)
-        tets = np.arange(points.shape[0], dtype=np.int64).reshape(-1, 4)
-        cut = TetMesh(points, tets, values)
-    else:
-        cut = TetMesh.empty()
-    return GridClipResult(kept, cut, n_tets_cut, n_straddle)
+    cut = _assemble_tets(pts_chunks, val_chunks) if keep_output else TetMesh.empty()
+    return GridClipResult(kept, cut, n_tets_cut, straddle_ids.size)
 
 
 def clip_tet_soup(

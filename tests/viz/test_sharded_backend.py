@@ -1,0 +1,151 @@
+"""Sharded kernel backend: bitwise ledgers, identical geometry, shard hooks.
+
+``backend="sharded"`` fans the shard-capable kernels out over k-spans of
+the lattice and merges in ascending span order; the determinism contract
+is that ledgers equal the serial pass *bitwise* and geometry is
+identical cell-for-cell.  These tests pin that contract across shard
+counts (including more shards than planes) plus the backend-resolution
+and engine-facing ``apply_shard`` surfaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generators import make_dataset
+from repro.viz import ALGORITHMS, Contour, Isovolume, SphericalClip
+from repro.viz.base import ENV_BACKEND, OpCounts, resolve_backend
+from repro.viz.sharding import ENV_SHARD_WORKERS, resolve_shards, run_spans
+
+SHARDABLE = ("contour", "clip", "isovolume")
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_dataset(24, kind="blobs", seed=7)
+
+
+class TestResolveBackend:
+    def test_default_serial(self, monkeypatch):
+        monkeypatch.delenv(ENV_BACKEND, raising=False)
+        assert resolve_backend(None) == "serial"
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_BACKEND, "sharded")
+        assert resolve_backend(None) == "sharded"
+
+    def test_arg_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_BACKEND, "sharded")
+        assert resolve_backend("serial") == "serial"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("gpu")
+
+
+class TestResolveShards:
+    def test_arg_clamped_to_planes(self):
+        assert resolve_shards(64, 24) == 24
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_SHARD_WORKERS, "3")
+        assert resolve_shards(None, 24) == 3
+
+    def test_env_junk_rejected(self, monkeypatch):
+        monkeypatch.setenv(ENV_SHARD_WORKERS, "many")
+        with pytest.raises(ValueError, match=ENV_SHARD_WORKERS):
+            resolve_shards(None, 24)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            resolve_shards(0, 24)
+
+
+class TestRunSpans:
+    def test_results_in_span_order(self):
+        out = run_spans(lambda lo, hi: (lo, hi), [(0, 3), (3, 7), (7, 8)])
+        assert out == [(0, 3), (3, 7), (7, 8)]
+
+    def test_empty_spans_skipped(self):
+        out = run_spans(lambda lo, hi: (lo, hi), [(0, 4), (4, 4), (4, 8)])
+        assert out == [(0, 4), (4, 8)]
+
+
+class TestShardedEqualsSerial:
+    """The core contract: ledgers bitwise, geometry identical."""
+
+    @pytest.mark.parametrize("name", SHARDABLE)
+    @pytest.mark.parametrize("shards", [1, 3, 5, 24, 64])
+    def test_ledger_bitwise(self, dataset, name, shards):
+        filt = ALGORITHMS[name]()
+        serial = filt.execute(dataset).counts.as_dict()
+        sharded = filt.execute(dataset, backend="sharded", shards=shards)
+        assert sharded.counts.as_dict() == serial
+
+    def test_contour_geometry_identical(self, dataset):
+        # Points batch per (slab, isovalue); span boundaries reorder the
+        # batches but never their contents, so compare as a multiset.
+        a = Contour(keep_output=True).execute(dataset).output
+        b = Contour(keep_output=True).execute(
+            dataset, backend="sharded", shards=5
+        ).output
+        assert a.n_triangles == b.n_triangles
+        np.testing.assert_array_equal(
+            np.sort(np.asarray(a.points), axis=0),
+            np.sort(np.asarray(b.points), axis=0),
+        )
+
+    @pytest.mark.parametrize("cls", [SphericalClip, Isovolume])
+    def test_clip_family_geometry_identical(self, dataset, cls):
+        a = cls().execute(dataset).output
+        b = cls().execute(dataset, backend="sharded", shards=5).output
+        np.testing.assert_array_equal(a.kept.cell_ids, b.kept.cell_ids)
+        np.testing.assert_array_equal(a.kept.cell_scalars, b.kept.cell_scalars)
+        assert a.cut.n_tets == b.cut.n_tets
+        np.testing.assert_allclose(
+            a.cut.total_volume(), b.cut.total_volume(), rtol=1e-9
+        )
+
+    def test_env_backend_applies(self, dataset, monkeypatch):
+        monkeypatch.setenv(ENV_BACKEND, "sharded")
+        monkeypatch.setenv(ENV_SHARD_WORKERS, "4")
+        filt = ALGORITHMS["contour"]()
+        serial = filt.execute(dataset, backend="serial").counts.as_dict()
+        assert filt.execute(dataset).counts.as_dict() == serial
+
+    def test_unsupported_filter_runs_serial(self, dataset):
+        """Filters without the hooks accept the backend and stay exact."""
+        filt = ALGORITHMS["threshold"]()
+        assert not filt.supports_sharding
+        serial = filt.execute(dataset).counts.as_dict()
+        assert filt.execute(dataset, backend="sharded").counts.as_dict() == serial
+
+
+class TestApplyShard:
+    """The engine-facing ledger-only span API."""
+
+    @pytest.mark.parametrize("name", SHARDABLE)
+    def test_span_ledgers_sum_to_serial(self, dataset, name):
+        filt = ALGORITHMS[name]()
+        serial = filt.execute(dataset).counts.as_dict()
+        total = OpCounts()
+        for shard in range(5):
+            filt.apply_shard(dataset, total, shard, 5)
+        assert total.as_dict() == serial
+
+    def test_empty_span_adds_nothing(self, dataset):
+        counts = OpCounts()
+        # 64 shards over 24 planes: the tail shards are empty spans.
+        ALGORITHMS["contour"]().apply_shard(dataset, counts, 63, 64)
+        assert counts.as_dict() == {}
+
+    def test_unsupported_filter_rejected(self, dataset):
+        with pytest.raises(ValueError, match="does not support sharding"):
+            ALGORITHMS["threshold"]().apply_shard(dataset, OpCounts(), 0, 2)
+
+    def test_isovolume_keep_output_rejected(self, dataset):
+        """Pass 2b's ledger lives in _finish: shard ledgers are only
+        exact for the counting configuration the engine profiles with."""
+        with pytest.raises(ValueError, match="keep_output"):
+            Isovolume(keep_output=True).apply_shard(dataset, OpCounts(), 0, 2)
