@@ -49,15 +49,20 @@ from .core.study import (
 )
 from .core.validate import ValidationReport, validate_store
 from .faults import (
+    GOVERNOR_PLANS,
     PLANS,
     SERVICE_PLANS,
     ChaosReport,
     FaultPlan,
+    GovernorChaosReport,
+    GovernorFaultPlan,
     ServiceChaosReport,
+    get_governor_plan,
     get_plan,
     get_service_plan,
 )
 from .faults import run_chaos as _run_chaos
+from .faults import run_governor_chaos as _run_governor_chaos
 from .faults import run_service_chaos as _run_service_chaos
 from .harness.experiments import DEFAULT_CACHE_PATH, TableHarness, effective_sizes
 from .lint import LintReport
@@ -80,12 +85,15 @@ __all__ = [
     "harness",
     "run_chaos",
     "run_service_chaos",
+    "run_governor_chaos",
     "doctor",
     "lint",
     "PLANS",
     "get_plan",
     "SERVICE_PLANS",
     "get_service_plan",
+    "GOVERNOR_PLANS",
+    "get_governor_plan",
     "sweep_service",
     "submit_study",
     "study_status",
@@ -625,6 +633,33 @@ def run_service_chaos(
         seed=seed,
         chaos_seed=chaos_seed,
         trace=trace,
+    )
+
+
+def run_governor_chaos(
+    *,
+    plan: GovernorFaultPlan | str = "default",
+    governor: str = "step:100=0.7:200=0.5",
+    control: str = "power",
+    spec=None,
+    n_epochs: int = 10,
+) -> GovernorChaosReport:
+    """Drill a governed power policy's signal feed; report the contract.
+
+    Runs the reference pass plus the three signal-feed drills (sample
+    dropout, step discontinuity, trace truncation) for one
+    governor × control-method policy and checks every epoch against the
+    piecewise invariants.  ``report.survived`` asserts: zero invariant
+    violations in every drill, every decision inside the governor's and
+    RAPL's declared ranges, and a bitwise-identical clean replay.
+    """
+    resolved = get_governor_plan(plan) if isinstance(plan, str) else plan
+    return _run_governor_chaos(
+        resolved,
+        governor=governor,
+        control=control,
+        spec=spec,
+        n_epochs=n_epochs,
     )
 
 

@@ -8,6 +8,8 @@
     python -m repro all --csv results/  # everything, with CSV artifacts
     python -m repro sweep phase3 --workers 8 --store sweep.jsonl
     python -m repro sweep phase1 --trace sweep.trace.jsonl --samples
+    python -m repro sweep phase1 --governor step:100=0.7:200=0.5 \\
+        --signal-trace price.jsonl            # governed time-varying caps
     python -m repro advise contour 128 --cap 60          # price one query
     python -m repro advise --serve < queries.jsonl       # JSONL query loop
     python -m repro chaos phase1 --plan default --workers 4
@@ -15,6 +17,7 @@
     python -m repro jobs --submit phase1 --report        # enqueue + inspect
     python -m repro jobs < requests.jsonl                # JSONL job protocol
     python -m repro chaos --service                      # daemon-layer drill
+    python -m repro chaos --governor --control duty      # signal-feed drill
     python -m repro doctor .cache/sweep-phase1.jsonl
     python -m repro doctor --lint                     # audit the source too
     python -m repro trace sweep.trace.jsonl
@@ -26,7 +29,9 @@
 resumable result store: kill it mid-run and re-invoke with the same
 ``--store`` and it completes only the missing points.  ``--max-size``
 caps dataset sizes (like REPRO_MAX_SIZE); ``--cycles`` overrides the
-per-measurement visualization cycle count.
+per-measurement visualization cycle count.  ``--governor`` replaces the
+static cap grid with the caps a signal-driven power policy would
+command over a ``--signal-trace`` (see docs/governors.md).
 
 ``chaos`` re-runs a sweep under a named fault plan (worker crashes,
 sensor dropout, a torn store tail, ...) and reports survival; ``doctor``
@@ -188,8 +193,37 @@ def _sweep_progress(event: dict) -> None:
         )
 
 
+def _governed_config(config, args):
+    """Replace the static cap grid with a governed cap series."""
+    import dataclasses
+
+    from .insitu.governors import SignalTrace, governed_caps_w, parse_governor
+
+    gov = parse_governor(args.governor)
+    if args.signal_trace:
+        trace = SignalTrace.from_jsonl(args.signal_trace)
+    else:
+        trace = SignalTrace.synthetic(
+            "walk", seed=7, n=max(4 * args.epochs, 16), lo=50.0, hi=250.0
+        )
+    caps = governed_caps_w(
+        gov,
+        trace,
+        ALL_PRESETS["broadwell"],
+        n_epochs=args.epochs,
+        epoch_s=args.epoch_s,
+    )
+    print(
+        f"governor {gov.describe()} over trace '{trace.name}': "
+        f"caps " + ", ".join(f"{c:g}W" for c in caps)
+    )
+    return dataclasses.replace(config, caps_w=caps)
+
+
 def cmd_sweep(args) -> None:
     config = api.resolve_config(args.phase)
+    if args.governor:
+        config = _governed_config(config, args)
     store = args.store or str(Path(".cache") / f"sweep-{config.name}.jsonl")
     engine = api.sweep_engine(
         workers=args.workers,
@@ -225,6 +259,26 @@ def cmd_sweep(args) -> None:
 
 def cmd_chaos(args) -> int:
     config = api.resolve_config(args.phase)
+    if args.governor:
+        if args.plan not in api.GOVERNOR_PLANS:
+            print(
+                f"chaos --governor: unknown governor plan {args.plan!r} "
+                f"(expected one of {', '.join(sorted(api.GOVERNOR_PLANS))})",
+                file=sys.stderr,
+            )
+            return 2
+        print(
+            f"governor chaos: plan '{args.plan}', governor {args.governor_spec}, "
+            f"control {args.control}"
+        )
+        report = api.run_governor_chaos(
+            plan=args.plan,
+            governor=args.governor_spec,
+            control=args.control,
+            n_epochs=args.epochs,
+        )
+        print(report.render())
+        return 0 if report.survived else 1
     if args.service:
         if args.plan not in api.SERVICE_PLANS:
             print(
@@ -252,7 +306,7 @@ def cmd_chaos(args) -> int:
         print(
             f"chaos: unknown fault plan {args.plan!r} "
             f"(expected one of {', '.join(sorted(api.PLANS))}; "
-            "service plans need --service)",
+            "service plans need --service, governor plans --governor)",
             file=sys.stderr,
         )
         return 2
@@ -679,6 +733,18 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write a span/event trace (JSONL; read with `repro trace`)")
     sweep.add_argument("--samples", action="store_true",
                        help="stream 100 ms power samples to <store>.samples.jsonl")
+    sweep.add_argument("--governor", default=None, metavar="SPEC",
+                       help="replace the cap grid with a governed cap series "
+                       "(e.g. 'const:0.8', 'step:100=0.7:200=0.5', "
+                       "'linear:100:500'; see docs/governors.md)")
+    sweep.add_argument("--signal-trace", default=None, metavar="PATH",
+                       help="signal trace JSONL driving the governor "
+                       "(default: a seeded synthetic walk)")
+    sweep.add_argument("--epochs", type=int, default=9, metavar="N",
+                       help="control periods to sample the governed caps over "
+                       "(default: 9)")
+    sweep.add_argument("--epoch-s", type=float, default=1.0, metavar="S",
+                       help="signal-trace seconds per control period (default: 1.0)")
 
     chaos = sub.add_parser(
         "chaos",
@@ -694,9 +760,11 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("phase", nargs="?", default="phase1", choices=list(api.PHASE_NAMES),
                        help="which factor grid to sweep (default: phase1)")
     chaos.add_argument("--plan", default="default",
-                       choices=sorted(set(api.PLANS) | set(api.SERVICE_PLANS)),
+                       choices=sorted(
+                           set(api.PLANS) | set(api.SERVICE_PLANS) | set(api.GOVERNOR_PLANS)
+                       ),
                        help="named fault plan (default: 'default'; service plans "
-                       "need --service)")
+                       "need --service, governor plans --governor)")
     chaos.add_argument("--seed", type=int, default=None, metavar="N",
                        help="re-seed the fault schedule (default: the plan's seed)")
     chaos.add_argument("--workers", type=int, default=None, metavar="N",
@@ -717,6 +785,19 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="studies to submit in the service drill (default: 2)")
     chaos.add_argument("--lease", type=float, default=1.0, metavar="S",
                        help="heartbeat lease in the service drill (default: 1.0)")
+    chaos.add_argument("--governor", action="store_true",
+                       help="drill the signal feed of a governed power policy "
+                       "instead (sample dropout, step discontinuities, trace "
+                       "truncation)")
+    chaos.add_argument("--governor-spec", default="step:100=0.7:200=0.5",
+                       metavar="SPEC",
+                       help="governor under test (--governor; default: "
+                       "'step:100=0.7:200=0.5')")
+    chaos.add_argument("--control", default="power",
+                       choices=("power", "frequency", "duty"),
+                       help="control method under test (--governor; default: power)")
+    chaos.add_argument("--epochs", type=int, default=10, metavar="N",
+                       help="control periods per governor drill (default: 10)")
 
     serve = sub.add_parser(
         "serve",

@@ -231,6 +231,117 @@ class PointValidator:
                     )
         return {k: v for k, v in out.items() if v}
 
+    # ------------------------------------------------------------ per epoch
+    def check_epochs(self, epochs) -> dict[PointKey, list[Violation]]:
+        """The static invariants restated piecewise for governed runs.
+
+        Under a governor the cap is constant only *within* one control
+        epoch, so the global contracts become per-epoch ones.  ``epochs``
+        is a sequence of :class:`~repro.insitu.governors.GovernorEpoch`
+        records (any objects with the same fields work); each is checked
+        like a static point against its own cap, then two cross-epoch
+        contracts apply per control method:
+
+        * epochs programmed with the *same* setting must agree on time
+          (the simulator is deterministic, so disagreement means a
+          corrupted record);
+        * across settings, runtime is monotone as the granted capacity
+          fraction drops — capping can only slow the same work down.
+
+        Keys are ``(control, epoch_index, cap_w)``; only violating keys
+        are returned.
+        """
+        out: dict[PointKey, list[Violation]] = {}
+        clean = []
+        for e in epochs:
+            key: PointKey = (e.control, int(e.epoch), float(e.cap_w))
+            vs: list[Violation] = []
+            if not all(
+                math.isfinite(v) for v in (e.time_s, e.energy_j, e.power_w, e.freq_ghz)
+            ):
+                vs.append(Violation("non-finite", f"non-finite field(s) in epoch {e.epoch}"))
+            else:
+                if e.time_s <= 0 or e.energy_j <= 0 or e.power_w <= 0:
+                    vs.append(
+                        Violation(
+                            "non-positive",
+                            f"epoch {e.epoch} time/energy/power must be positive "
+                            f"(got {e.time_s:g}s, {e.energy_j:g}J, {e.power_w:g}W)",
+                        )
+                    )
+                limit = e.cap_w * (1.0 + self.power_rel_tol) + self.power_abs_tol_w
+                if e.power_w > limit:
+                    vs.append(
+                        Violation(
+                            "power-over-cap",
+                            f"epoch {e.epoch} power {e.power_w:.2f}W exceeds its "
+                            f"cap {e.cap_w:g}W (tolerance {limit - e.cap_w:.2f}W)",
+                        )
+                    )
+                if not (self._freq_min <= e.freq_ghz <= self._freq_max):
+                    vs.append(
+                        Violation(
+                            "freq-out-of-range",
+                            f"epoch {e.epoch} frequency {e.freq_ghz:.3f}GHz outside "
+                            f"[{self._freq_min:.3f}, {self._freq_max:.3f}]GHz",
+                        )
+                    )
+            if vs:
+                out[key] = vs
+            else:
+                clean.append(e)
+
+        # Group epochs by programmed setting within each control method.
+        groups: dict[tuple, list] = {}
+        for e in clean:
+            setting = (
+                e.control,
+                round(float(e.cap_w), 9),
+                None if e.f_ceiling_ghz is None else round(float(e.f_ceiling_ghz), 9),
+                round(float(e.duty_cap), 9),
+            )
+            groups.setdefault(setting, []).append(e)
+
+        # Same setting ⇒ same time: the simulator is deterministic and a
+        # governed run re-executes the same profile every epoch.
+        for members in groups.values():
+            base = members[0]
+            for e in members[1:]:
+                if abs(e.time_s - base.time_s) > self.ratio_rel_tol * base.time_s:
+                    out.setdefault((e.control, int(e.epoch), float(e.cap_w)), []).append(
+                        Violation(
+                            "epoch-inconsistent",
+                            f"epoch {e.epoch} time {e.time_s:.6g}s disagrees with "
+                            f"epoch {base.epoch} at the same setting "
+                            f"({base.time_s:.6g}s)",
+                        )
+                    )
+
+        # Monotone in granted capacity, walked per control method from
+        # the most to the least capacity (the governor's fraction orders
+        # every control method's actuator monotonically).
+        by_control: dict[str, list] = {}
+        for members in groups.values():
+            by_control.setdefault(members[0].control, []).append(members[0])
+        for reps in by_control.values():
+            chain = sorted(reps, key=lambda e: -e.fraction)
+            if not chain:
+                continue
+            last_good = chain[0]
+            for e in chain[1:]:
+                if e.time_s < last_good.time_s * (1.0 - self.time_rel_tol):
+                    out.setdefault((e.control, int(e.epoch), float(e.cap_w)), []).append(
+                        Violation(
+                            "runtime-not-monotone",
+                            f"epoch {e.epoch} time {e.time_s:.6g}s at capacity "
+                            f"fraction {e.fraction:g} is below {last_good.time_s:.6g}s "
+                            f"at fraction {last_good.fraction:g}",
+                        )
+                    )
+                else:
+                    last_good = e
+        return out
+
     # ----------------------------------------------------------- aggregates
     def check_result(self, result: StudyResult) -> ValidationReport:
         """Validate every (algorithm, size) group of a result."""

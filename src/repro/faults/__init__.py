@@ -17,10 +17,21 @@ realistic faults instead of trusted on faith:
 * :class:`ServiceFaultInjector` / :data:`SERVICE_PLANS` /
   :func:`run_service_chaos` — the daemon-layer drill behind
   ``repro chaos --service`` (worker crash mid-job, heartbeat stalls,
-  duplicate delivery, a torn WAL tail).
+  duplicate delivery, a torn WAL tail);
+* :class:`GovernorFaultPlan` / :data:`GOVERNOR_PLANS` /
+  :func:`run_governor_chaos` — the signal-feed drill behind
+  ``repro chaos --governor`` (sample dropout, step discontinuities,
+  trace truncation against a governed power policy).
 """
 
 from .chaos import ChaosReport, run_chaos
+from .governor import (
+    GOVERNOR_PLANS,
+    GovernorChaosReport,
+    GovernorFaultPlan,
+    get_governor_plan,
+    run_governor_chaos,
+)
 from .machine import MachineFaultInjector, clear_machine_faults, inject_machine_faults
 from .plan import PLANS, FaultPlan, InjectedFault, get_plan
 from .service import (
@@ -52,4 +63,9 @@ __all__ = [
     "ServiceChaosReport",
     "run_service_chaos",
     "tear_wal_tail",
+    "GovernorFaultPlan",
+    "GOVERNOR_PLANS",
+    "get_governor_plan",
+    "GovernorChaosReport",
+    "run_governor_chaos",
 ]

@@ -73,16 +73,36 @@ class RaplController:
         return float(min(max(cap_watts, self.spec.rapl_floor_watts), self.spec.tdp_watts))
 
     def operating_point(
-        self, ev: SegmentEval, cap_watts: float, *, power_offset_w: float = 0.0
+        self,
+        ev: SegmentEval,
+        cap_watts: float,
+        *,
+        power_offset_w: float = 0.0,
+        f_ceiling_ghz: float | None = None,
+        duty_cap: float = 1.0,
     ) -> OperatingPoint:
         """Highest-performance operating point whose power fits the cap.
 
         ``power_offset_w`` shifts the modeled power (the traced
         simulator's integral correction feeds in here).
+        ``f_ceiling_ghz`` pins the P-state scan below a DVFS frequency
+        ceiling; ``duty_cap`` upper-bounds the clock duty (DDCM-style
+        modulation).  Both default to unconstrained, in which case the
+        decision is bit-identical to the historical RAPL-only path.
         """
         cap = self.validate_cap(cap_watts)
+        if not (MIN_DUTY <= duty_cap <= 1.0):
+            raise ValueError(f"duty_cap must be in [{MIN_DUTY}, 1], got {duty_cap}")
         self.decisions += 1
         bins = self.spec.freq_bins
+        if f_ceiling_ghz is not None:
+            # Tolerance matches the bin rounding in MachineSpec.freq_bins.
+            bins = bins[bins <= f_ceiling_ghz + 1e-6]
+            if len(bins) == 0:
+                raise ValueError(
+                    f"frequency ceiling {f_ceiling_ghz} GHz is below the lowest "
+                    f"P-state bin ({self.spec.f_min} GHz)"
+                )
         hook = self.fault_hook
         if hook is not None:
             # Enforcement jitter: hardware tracks a running average, so
@@ -91,25 +111,27 @@ class RaplController:
             if hook.excursion():
                 # Transient enforcement lapse: the controller grants full
                 # frequency for this decision regardless of the cap, and
-                # honestly reports whether the cap was met.
+                # honestly reports whether the cap was met.  The DVFS
+                # ceiling and duty cap are honored even during a lapse —
+                # they are programmed limits, not feedback.
                 f = float(bins[-1])
-                p = self.power_model.power(ev, f) + power_offset_w
-                return OperatingPoint(f, 1.0, p - power_offset_w, p <= cap)
+                p = self.power_model.power(ev, f, duty=duty_cap) + power_offset_w
+                return OperatingPoint(f, duty_cap, p - power_offset_w, p <= cap)
         # Scan from the top: RAPL grants as much frequency as fits.
         for f in bins[::-1]:
-            p = self.power_model.power(ev, float(f)) + power_offset_w
+            p = self.power_model.power(ev, float(f), duty=duty_cap) + power_offset_w
             if p <= cap:
-                return OperatingPoint(float(f), 1.0, p - power_offset_w, True)
+                return OperatingPoint(float(f), duty_cap, p - power_offset_w, True)
 
         # No P-state fits: throttle at the floor frequency.
-        return self._duty_cycle(ev, cap, power_offset_w)
+        return self._duty_cycle(ev, cap, power_offset_w, duty_cap=duty_cap)
 
     def _duty_cycle(
-        self, ev: SegmentEval, cap: float, power_offset_w: float
+        self, ev: SegmentEval, cap: float, power_offset_w: float, *, duty_cap: float = 1.0
     ) -> OperatingPoint:
         self.throttle_decisions += 1
         f = self.spec.f_min
-        lo, hi = MIN_DUTY, 1.0
+        lo, hi = MIN_DUTY, duty_cap
 
         def p_at(duty: float) -> float:
             return self.power_model.power(ev, f, duty=duty) + power_offset_w

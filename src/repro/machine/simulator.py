@@ -193,15 +193,31 @@ class Processor:
         self.fault_hook = None
 
     # ----------------------------------------------------------- closed form
-    def run(self, profile: WorkProfile, cap_watts: float | None = None) -> RunResult:
-        """Execute ``profile`` under ``cap_watts`` (default: TDP), closed-form."""
+    def run(
+        self,
+        profile: WorkProfile,
+        cap_watts: float | None = None,
+        *,
+        f_ceiling_ghz: float | None = None,
+        duty_cap: float = 1.0,
+    ) -> RunResult:
+        """Execute ``profile`` under ``cap_watts`` (default: TDP), closed-form.
+
+        ``f_ceiling_ghz`` pins the controller's P-state scan under a
+        DVFS frequency ceiling and ``duty_cap`` bounds the clock duty
+        (DDCM); left at their defaults the run is bit-identical to the
+        historical RAPL-only path — the governor control methods in
+        :mod:`repro.insitu.governors` are the intended callers.
+        """
         cap = self.rapl.validate_cap(cap_watts if cap_watts is not None else self.spec.tdp_watts)
         profile.validate()
         msr = MsrBank()
         records: list[SegmentRecord] = []
         for seg in profile:
             ev = self.exec_model.evaluate(seg)
-            op = self.rapl.operating_point(ev, cap)
+            op = self.rapl.operating_point(
+                ev, cap, f_ceiling_ghz=f_ceiling_ghz, duty_cap=duty_cap
+            )
             records.append(self._commit(ev, op, msr))
         return RunResult(profile.name, cap, self.spec, records, msr)
 
