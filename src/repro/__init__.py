@@ -23,6 +23,15 @@ The package is layered bottom-up:
 
 __version__ = "1.1.0"
 
+import os as _os
+
+if _os.environ.get("REPRO_SANITIZE") == "1":
+    # Patch the threading lock factories *before* any repro module is
+    # imported, so every lock the package creates is tracked.
+    from .lint.sanitizer import install as _sanitizer_install
+
+    _sanitizer_install()
+
 from .workload import AccessPattern, InstructionMix, WorkProfile, WorkSegment
 from . import api
 from .api import (

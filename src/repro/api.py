@@ -683,6 +683,7 @@ def lint(
     baseline: str | Path | None = None,
     update_baseline: bool = False,
     rules=None,
+    only=None,
 ) -> LintReport:
     """Run the contract-aware static-analysis gate (``repro lint``).
 
@@ -691,9 +692,15 @@ def lint(
     :class:`~repro.lint.runner.LintReport`; ``report.ok`` is the gate.
     ``baseline`` grandfather-lists known findings;
     ``update_baseline=True`` rewrites it from the current findings.
+    ``only`` narrows *reporting* to the given files while the whole
+    target set is still analysed (``repro lint --changed``).
     """
     return _lint_paths(
-        paths, baseline_path=baseline, update_baseline=update_baseline, rules=rules
+        paths,
+        baseline_path=baseline,
+        update_baseline=update_baseline,
+        rules=rules,
+        only=only,
     )
 
 

@@ -494,14 +494,57 @@ def cmd_doctor(args) -> int:
     return rc
 
 
+def _git_changed_files() -> list[Path] | None:
+    """Tracked-modified + untracked ``*.py`` files, or None outside git."""
+    import subprocess
+
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    names: list[str] = []
+    for cmd in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            out = subprocess.run(
+                cmd, capture_output=True, text=True, check=True, cwd=top
+            ).stdout
+        except (OSError, subprocess.CalledProcessError):
+            return None
+        names.extend(out.splitlines())
+    files: list[Path] = []
+    seen: set[Path] = set()
+    for name in names:
+        p = (Path(top) / name).resolve()
+        if p.suffix == ".py" and p.is_file() and p not in seen:
+            seen.add(p)
+            files.append(p)
+    return files
+
+
 def cmd_lint(args) -> int:
     from .core.atomicio import atomic_write_json
     from .lint import render_json, render_text
 
+    only = None
+    if getattr(args, "changed", False):
+        only = _git_changed_files()
+        if only is None:
+            print("lint: --changed requires a git checkout", file=sys.stderr)
+            return 2
+        if not only:
+            print("lint: no changed python files")
+            return 0
     report = api.lint(
         args.paths or None,
         baseline=args.baseline,
         update_baseline=args.update_baseline,
+        only=only,
     )
     if args.format == "json":
         print(render_json(report))
@@ -510,6 +553,35 @@ def cmd_lint(args) -> int:
     if args.report:
         atomic_write_json(args.report, report.to_json())
     return 0 if report.ok else 1
+
+
+def cmd_sanitize(args) -> int:
+    from .core.atomicio import atomic_write_json
+    from .lint import sanitizer
+
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        print("sanitize: give a repro subcommand to run, e.g. "
+              "`repro sanitize chaos --service`", file=sys.stderr)
+        return 2
+    if rest[0] == "sanitize":
+        print("sanitize: cannot nest sanitize", file=sys.stderr)
+        return 2
+    sanitizer.install()
+    try:
+        inner = main(rest)
+    finally:
+        sanitizer.uninstall()
+    doc = sanitizer.report()
+    if args.show or not doc["ok"]:
+        print(sanitizer.render(doc))
+    if args.report:
+        atomic_write_json(args.report, doc)
+    if not doc["ok"]:
+        return 1
+    return inner
 
 
 def _render_advise(resp) -> str:
@@ -941,9 +1013,12 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Machine-check the repo's coding contracts over every "
         "source file: atomic artifact writes (RPR001), isclose cap matching "
         "(RPR002), the pickle ban (RPR003), the import-layering map (RPR004), "
-        "balanced trace spans (RPR005), unit-suffix consistency (RPR006), and "
-        "locked shared mutation (RPR007). Exits 0 when clean, 1 on any new "
-        "finding, 2 on usage errors. See docs/static_analysis.md.",
+        "balanced trace spans (RPR005), unit-suffix consistency (RPR006), "
+        "locked shared mutation (RPR007), plus the project-wide rules: "
+        "cross-call unit flow (RPR008), lockset races (RPR009), durability "
+        "ordering (RPR010) and blocking calls under locks (RPR011). Exits 0 "
+        "when clean, 1 on any new finding, 2 on usage errors. See "
+        "docs/static_analysis.md.",
     )
     lint.add_argument("paths", nargs="*", metavar="PATH",
                       help="files/directories to lint (default: the installed repro package)")
@@ -958,6 +1033,27 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="rewrite the baseline from the current findings")
     lint.add_argument("--report", default=None, metavar="PATH",
                       help="also write the JSON report to PATH (atomically)")
+    lint.add_argument("--changed", action="store_true",
+                      help="report only findings in files changed vs. git HEAD "
+                      "(plus untracked); the whole project is still analysed "
+                      "so cross-file rules keep their view")
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="run a repro subcommand under the runtime concurrency sanitizer",
+        description="Install the lock-order/lockset sanitizer "
+        "(repro.lint.sanitizer), run the given repro subcommand in-process, "
+        "then report lock-order cycles and lockset races. Exits 1 when the "
+        "sanitizer observed a cycle or race (regardless of the inner "
+        "command's own exit code), 2 on usage errors. Equivalent to running "
+        "any entry point with REPRO_SANITIZE=1, plus the report.",
+    )
+    sanitize.add_argument("--report", default=None, metavar="PATH",
+                          help="write the sanitizer JSON report to PATH (atomically)")
+    sanitize.add_argument("--show", action="store_true",
+                          help="print the text report even when clean")
+    sanitize.add_argument("rest", nargs=argparse.REMAINDER, metavar="command",
+                          help="repro subcommand (and its arguments) to run")
     return parser
 
 
@@ -971,6 +1067,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_doctor(args)
     if args.command == "lint":
         return cmd_lint(args)
+    if args.command == "sanitize":
+        return cmd_sanitize(args)
     if args.command == "bench":
         return cmd_bench(args)
     if args.command == "trace":

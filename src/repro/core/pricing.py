@@ -111,8 +111,10 @@ class LedgerCache:
     """Content-addressed (algorithm, size, dataset, machine) → ledger cache.
 
     ``path=None`` keeps the cache in memory only; otherwise the whole
-    document is persisted atomically on every put (ledgers are tiny —
-    a few dozen floats each).  Hit/miss traffic is published to the
+    document is persisted atomically after every mutation (ledgers are
+    tiny — a few dozen floats each) by a write-behind drain that never
+    holds the mutation lock across the disk write, so readers are never
+    stalled behind an fsync.  Hit/miss traffic is published to the
     metrics registry as ``repro_ledger_cache_requests_total``.
     """
 
@@ -123,6 +125,9 @@ class LedgerCache:
         self._lock = threading.Lock()
         #: key → {"algorithm", "size", "dataset", "machine", "ledger"}
         self._entries: dict[str, dict] = {}
+        # Write-behind persist state (see _persist): guarded by _lock.
+        self._persist_active = False
+        self._persist_pending = False
         self.path = Path(path) if path is not None else None
         reg = metrics if metrics is not None else get_registry()
         self._hits = reg.counter(
@@ -197,11 +202,36 @@ class LedgerCache:
         with self._lock:
             self._entries = entries
 
-    def _save_locked(self) -> None:
+    def _persist(self) -> None:
+        """Write-behind persist: snapshot under the lock, write outside it.
+
+        Holding ``_lock`` across the atomic write (flush + fsync) would
+        stall every reader behind disk latency — the blocking-under-lock
+        hazard RPR011 flags.  Instead one writer at a time drains: it
+        snapshots the entries under the lock, writes with no lock held,
+        and loops if a mutation landed mid-write, so the file always
+        converges to the latest state and writes can never interleave
+        out of order.
+        """
         if self.path is None:
             return
-        doc = {"format": self.FORMAT, "version": self.VERSION, "entries": self._entries}
-        atomic_write_json(self.path, doc)
+        with self._lock:
+            if self._persist_active:
+                self._persist_pending = True
+                return
+            self._persist_active = True
+        while True:
+            with self._lock:
+                self._persist_pending = False
+                entries = {
+                    k: dict(e, ledger=dict(e["ledger"])) for k, e in self._entries.items()
+                }
+            doc = {"format": self.FORMAT, "version": self.VERSION, "entries": entries}
+            atomic_write_json(self.path, doc)
+            with self._lock:
+                if not self._persist_pending:
+                    self._persist_active = False
+                    return
 
     # ----------------------------------------------------------------- access
     def get(
@@ -236,7 +266,7 @@ class LedgerCache:
         }
         with self._lock:
             self._entries[key] = entry
-            self._save_locked()
+        self._persist()
         return key
 
     def invalidate(
@@ -261,8 +291,8 @@ class LedgerCache:
             keys = [k for k, e in self._entries.items() if doomed(e)]
             for k in keys:
                 del self._entries[k]
-            if keys:
-                self._save_locked()
+        if keys:
+            self._persist()
         return len(keys)
 
     def entries(self) -> Iterator[tuple[str, int, str, str, dict[str, float]]]:

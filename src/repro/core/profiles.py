@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 import pickle
+import threading
 from pathlib import Path
 
 from ..data.fields import DataSet
@@ -151,6 +152,9 @@ class ProfileCache:
     VERSION = 1
 
     def __init__(self, path: str | Path | None = None):
+        # Shared between the sweep engine's control loop and chaos-drill
+        # threads, so every _entries access goes through this lock.
+        self._lock = threading.Lock()
         self._entries: dict[str, dict[str, float]] = {}
         self.path: Path | None = None
         if path is None:
@@ -198,7 +202,8 @@ class ProfileCache:
             raise ValueError(
                 f"{p} has cache version {doc['version']}, newer than supported {self.VERSION}"
             )
-        self._entries = {k: dict(v) for k, v in doc["entries"].items()}
+        with self._lock:
+            self._entries = {k: dict(v) for k, v in doc["entries"].items()}
 
     def _migrate_pickle(self, legacy: Path) -> None:
         try:
@@ -226,13 +231,18 @@ class ProfileCache:
             except OSError:
                 pass  # read-only cache dir: the warning above still fired
             return
-        self._entries = entries
+        with self._lock:
+            self._entries = entries
         self._save()
 
     def _save(self) -> None:
         if self.path is None:
             return
-        doc = {"format": self.FORMAT, "version": self.VERSION, "entries": self._entries}
+        # Snapshot under the lock, write outside it: holding _lock across
+        # flush+fsync would stall every reader behind disk latency.
+        with self._lock:
+            entries = {k: dict(v) for k, v in self._entries.items()}
+        doc = {"format": self.FORMAT, "version": self.VERSION, "entries": entries}
         # Temp-file + os.replace (+ fsync): a crashed or concurrent sweep
         # worker can never leave a truncated profiles.json — readers see
         # the old complete document or the new one, nothing in between
@@ -241,11 +251,13 @@ class ProfileCache:
 
     # ------------------------------------------------------------------ access
     def get(self, algorithm: str, size: int) -> dict[str, float] | None:
-        entry = self._entries.get(self._key(algorithm, size))
-        return dict(entry) if entry is not None else None
+        with self._lock:
+            entry = self._entries.get(self._key(algorithm, size))
+            return dict(entry) if entry is not None else None
 
     def put(self, algorithm: str, size: int, ledger: dict[str, float]) -> None:
-        self._entries[self._key(algorithm, size)] = dict(ledger)
+        with self._lock:
+            self._entries[self._key(algorithm, size)] = dict(ledger)
         self._save()
 
     def entries(self):
@@ -255,12 +267,16 @@ class ProfileCache:
 ingest_profile_cache`: a sweep's ledgers can seed the advise service
         without re-running a single algorithm.
         """
-        for key, ledger in list(self._entries.items()):
+        with self._lock:
+            snapshot = list(self._entries.items())
+        for key, ledger in snapshot:
             algorithm, _, size = key.rpartition("/")
             yield algorithm, int(size), dict(ledger)
 
     def __contains__(self, key: tuple[str, int]) -> bool:
-        return self._key(*key) in self._entries
+        with self._lock:
+            return self._key(*key) in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)

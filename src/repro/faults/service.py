@@ -345,7 +345,7 @@ def run_service_chaos(
     # ------------------------------------------------------------ verdicts
     state = svc2.state
     for job_id in job_ids:
-        job = state.jobs.get(job_id)
+        job = state.get(job_id)
         if job is None:
             report.lost += 1
             continue
@@ -362,12 +362,12 @@ def run_service_chaos(
     report.stalls_injected = injector.stalls_injected
     report.duplicates_injected = injector.duplicates_injected
     report.duplicates_ignored = state.duplicates_ignored
-    report.wal_corrupt_lines = svc2.wal.corrupt_lines
+    report.wal_corrupt_lines = svc2.wal.corruption_count()
     report.breaker_final = final["breaker"]
 
     # Bitwise identity: every completed job's store vs. the reference.
     for job_id in job_ids:
-        job = state.jobs.get(job_id)
+        job = state.get(job_id)
         if job is None or job.status != "completed":
             continue
         store = ResultStore(svc2.store_path(job_id))
@@ -379,9 +379,7 @@ def run_service_chaos(
     fresh_wal = WriteAheadLog(spool / "wal.jsonl")
     fresh = QueueState()
     fresh.apply_all(fresh_wal.replay())
-    report.replay_consistent = {
-        j: s.status for j, s in fresh.jobs.items()
-    } == {j: s.status for j, s in state.jobs.items()}
+    report.replay_consistent = fresh.statuses() == state.statuses()
 
     report.wall_s = time.perf_counter() - t0
     return report

@@ -8,8 +8,12 @@ shared registries mutate under their locks.  This package machine-checks
 those conventions over the AST of every source file:
 
 * :func:`lint_paths` / :func:`check_source` — the analysis pipeline;
-* :mod:`repro.lint.rules` — the rule set (RPR001–RPR007), extensible
+* :mod:`repro.lint.rules` — the rule set (RPR001–RPR011), extensible
   via :func:`~repro.lint.registry.register`;
+* :mod:`repro.lint.analysis` — the project-wide engine (symbol table,
+  call graph, thread roots, lockset propagation) behind RPR008–RPR011;
+* :mod:`repro.lint.sanitizer` — the *runtime* complement: lock-order
+  and lockset checking under ``REPRO_SANITIZE=1`` / ``repro sanitize``;
 * :mod:`repro.lint.pragmas` — justified, audited in-source suppressions;
 * :mod:`repro.lint.baseline` — grandfather-then-burn-down semantics for
   adopting new rules (this repo's checked-in baseline is empty and CI
@@ -25,7 +29,15 @@ from . import rules as _rules  # noqa: F401  — importing registers the rule se
 from .baseline import DEFAULT_BASELINE_PATH, Baseline, finding_fingerprint
 from .findings import PRAGMA_CODE, Finding
 from .pragmas import Pragma, apply_pragmas, scan_pragmas
-from .registry import FileContext, Rule, all_rules, get_rule, register, rule_codes
+from .registry import (
+    FileContext,
+    ProjectRule,
+    Rule,
+    all_rules,
+    get_rule,
+    register,
+    rule_codes,
+)
 from .reporting import render_json, render_stats, render_text
 from .runner import LintReport, check_source, lint_paths
 
@@ -34,6 +46,7 @@ __all__ = [
     "PRAGMA_CODE",
     "FileContext",
     "Rule",
+    "ProjectRule",
     "register",
     "all_rules",
     "get_rule",

@@ -1,0 +1,37 @@
+"""Project-wide analysis engine backing the cross-file lint rules.
+
+Where :mod:`repro.lint.rules` reasons one file at a time, this package
+builds a whole-project view — symbol table (:mod:`.symbols`), resolved
+call graph (:mod:`.callgraph`), thread roots (:mod:`.threads`) — and
+exposes it to rules through :class:`~repro.lint.analysis.project.ProjectContext`.
+The lockset race detector (RPR009), cross-function unit propagation
+(RPR008), durability ordering (RPR010) and blocking-call-under-lock
+(RPR011) all run on this engine; see :mod:`repro.lint.rules.dataflow`.
+"""
+
+from .model import (
+    Access,
+    Callee,
+    CallSite,
+    ClassInfo,
+    FunctionInfo,
+    Location,
+    ModuleInfo,
+    SpawnSite,
+    ThreadRoot,
+)
+from .project import ProjectContext, RootedAccess
+
+__all__ = [
+    "Access",
+    "Callee",
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "Location",
+    "ModuleInfo",
+    "ProjectContext",
+    "RootedAccess",
+    "SpawnSite",
+    "ThreadRoot",
+]

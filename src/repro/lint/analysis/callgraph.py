@@ -1,0 +1,190 @@
+"""Call-graph resolution over the project symbol table.
+
+Resolution is name-based and deliberately conservative: a call edge
+exists only when the target is unambiguous — a nested function of the
+caller, a function/class in the caller's module, a ``self`` method (one
+level of single-name base walking), a method on a receiver whose class
+was inferred, or an imported project function.  Unresolvable calls
+simply produce no edge; every project rule treats "no edge" as "no
+claim", which keeps the engine's false-positive rate near zero at the
+cost of missing dynamically-dispatched paths.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .model import Callee, ClassInfo, FunctionInfo, ModuleInfo
+
+__all__ = ["CallGraph", "LockEntry"]
+
+
+class LockEntry:
+    """Evidence that a function can be entered while a lock is held."""
+
+    __slots__ = ("locks", "chain")
+
+    def __init__(self, locks: frozenset[str], chain: tuple[str, ...]):
+        self.locks = locks
+        self.chain = chain
+
+
+class CallGraph:
+    """Resolved call edges plus derived lock-at-entry facts."""
+
+    def __init__(self, modules: dict[str, ModuleInfo]):
+        self.modules = modules
+        self.classes: dict[str, ClassInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        for mod in modules.values():
+            for cls in mod.classes.values():
+                self.classes[cls.qualname] = cls
+            for fn in mod.functions.values():
+                self._index(fn)
+            for cls in mod.classes.values():
+                for fn in cls.methods.values():
+                    self._index(fn)
+        self._propagate_return_units()
+        self._lock_entries: dict[str, LockEntry] | None = None
+
+    def _index(self, fn: FunctionInfo) -> None:
+        self.functions[fn.qualname] = fn
+        for child in fn.children.values():
+            self._index(child)
+
+    # -- resolution -----------------------------------------------------
+
+    def resolve(self, caller: FunctionInfo, callee: Callee) -> FunctionInfo | None:
+        """The unique FunctionInfo a call refers to, or None."""
+        mod = self.modules.get(caller.module)
+        if callee.kind == "name":
+            if callee.name in caller.children:
+                return caller.children[callee.name]
+            if mod is None:
+                return None
+            if callee.name in mod.functions:
+                return mod.functions[callee.name]
+            if callee.name in mod.classes:
+                return mod.classes[callee.name].methods.get("__init__")
+            dotted = mod.imports.get(callee.name)
+            return self._resolve_dotted(dotted) if dotted else None
+        if callee.kind == "self":
+            if caller.cls is None:
+                return None
+            return self._method(caller.cls, callee.name)
+        if callee.kind == "typed":
+            if callee.receiver is None:
+                return None
+            return self._method(callee.receiver, callee.name)
+        if callee.kind == "module":
+            if callee.receiver is None:
+                return None
+            target_mod = self.modules.get(callee.receiver)
+            if target_mod is None:
+                return None
+            if callee.name in target_mod.functions:
+                return target_mod.functions[callee.name]
+            if callee.name in target_mod.classes:
+                return target_mod.classes[callee.name].methods.get("__init__")
+            return None
+        return None
+
+    def _resolve_dotted(self, dotted: str) -> FunctionInfo | None:
+        """``pkg.mod.obj`` -> FunctionInfo for a function or class ctor."""
+        if dotted in self.modules:
+            return None  # a module is not callable
+        if "." not in dotted:
+            return None
+        owner, name = dotted.rsplit(".", 1)
+        mod = self.modules.get(owner)
+        if mod is not None:
+            if name in mod.functions:
+                return mod.functions[name]
+            if name in mod.classes:
+                return mod.classes[name].methods.get("__init__")
+        cls = self.classes.get(dotted)
+        if cls is not None:
+            return cls.methods.get("__init__")
+        return None
+
+    def _method(self, class_dotted: str, name: str, _depth: int = 0) -> FunctionInfo | None:
+        cls = self.classes.get(class_dotted)
+        if cls is None or _depth > 4:
+            return None
+        if name in cls.methods:
+            return cls.methods[name]
+        mod = self.modules.get(cls.module)
+        for base in cls.bases:
+            base_dotted = None
+            if mod is not None:
+                if base in mod.classes:
+                    base_dotted = mod.classes[base].qualname
+                else:
+                    imported = mod.imports.get(base)
+                    if imported and imported in self.classes:
+                        base_dotted = imported
+            if base_dotted:
+                found = self._method(base_dotted, name, _depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+    # -- return-unit propagation (RPR008) -------------------------------
+
+    def _propagate_return_units(self) -> None:
+        # Two passes cover call chains one and two deep, which is as far
+        # as unit laundering realistically travels in this codebase.
+        for _ in range(2):
+            changed = False
+            for fn in self.functions.values():
+                if fn.return_unit is None and fn.return_call is not None:
+                    callee = self.resolve(fn, fn.return_call)
+                    if callee is not None and callee.return_unit is not None:
+                        fn.return_unit = callee.return_unit
+                        changed = True
+            if not changed:
+                break
+
+    # -- lock-at-entry facts (RPR011) -----------------------------------
+
+    def lock_entries(self) -> dict[str, LockEntry]:
+        """Functions reachable while a lock is held, with one example chain.
+
+        Seeded by every call made under a lexical lockset; propagated
+        breadth-first so the recorded chain is a shortest witness.  The
+        first entry discovered per function wins — presence is what the
+        blocking-call rule needs, not the full set of entry locksets.
+        """
+        if self._lock_entries is not None:
+            return self._lock_entries
+        entries: dict[str, LockEntry] = {}
+        queue: deque[str] = deque()
+        for fn in self.functions.values():
+            for call in fn.calls:
+                if not call.lockset:
+                    continue
+                callee = self.resolve(fn, call.callee)
+                if callee is None or callee.qualname in entries:
+                    continue
+                entries[callee.qualname] = LockEntry(
+                    frozenset(call.lockset), (fn.qualname, callee.qualname)
+                )
+                queue.append(callee.qualname)
+        while queue:
+            qualname = queue.popleft()
+            fn = self.functions.get(qualname)
+            if fn is None:
+                continue
+            entry = entries[qualname]
+            if len(entry.chain) > 12:
+                continue
+            for call in fn.calls:
+                callee = self.resolve(fn, call.callee)
+                if callee is None or callee.qualname in entries:
+                    continue
+                entries[callee.qualname] = LockEntry(
+                    entry.locks | call.lockset, entry.chain + (callee.qualname,)
+                )
+                queue.append(callee.qualname)
+        self._lock_entries = entries
+        return entries

@@ -1,0 +1,107 @@
+"""Project-wide analysis context handed to :class:`ProjectRule`\\ s.
+
+Built once per lint run from every parsed file, then queried lazily:
+the symbol table, the resolved call graph, the thread roots, and the
+Eraser-style *access map* — for every shared-state cell, the accesses
+reachable from each thread root together with the locks held on that
+path (lexical locks at the access plus locks inherited from the call
+chain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..registry import FileContext
+from .callgraph import CallGraph, LockEntry
+from .model import Access, FunctionInfo, Location, ModuleInfo, ThreadRoot
+from .symbols import build_module
+from .threads import discover_roots
+
+__all__ = ["ProjectContext", "RootedAccess"]
+
+_MAX_DEPTH = 24
+
+
+@dataclass(frozen=True)
+class RootedAccess:
+    """One access observed on a path from a thread root."""
+
+    root: ThreadRoot
+    access: Access
+    lockset: frozenset[str]  # lexical locks at the access + inherited
+
+
+class ProjectContext:
+    """Lazily-built whole-project view over all parsed files."""
+
+    def __init__(self, contexts: list[FileContext]):
+        self._contexts = list(contexts)
+        self._modules: dict[str, ModuleInfo] | None = None
+        self._graph: CallGraph | None = None
+        self._roots: list[ThreadRoot] | None = None
+        self._access_map: dict[Location, list[RootedAccess]] | None = None
+
+    @property
+    def contexts(self) -> list[FileContext]:
+        return self._contexts
+
+    @property
+    def modules(self) -> dict[str, ModuleInfo]:
+        if self._modules is None:
+            built: dict[str, ModuleInfo] = {}
+            for ctx in self._contexts:
+                built[ctx.module] = build_module(ctx)
+            self._modules = built
+        return self._modules
+
+    @property
+    def graph(self) -> CallGraph:
+        if self._graph is None:
+            self._graph = CallGraph(self.modules)
+        return self._graph
+
+    @property
+    def thread_roots(self) -> list[ThreadRoot]:
+        if self._roots is None:
+            self._roots = discover_roots(self.graph)
+        return self._roots
+
+    def lock_entries(self) -> dict[str, LockEntry]:
+        return self.graph.lock_entries()
+
+    def function(self, qualname: str) -> FunctionInfo | None:
+        return self.graph.functions.get(qualname)
+
+    def access_map(self) -> dict[Location, list[RootedAccess]]:
+        """Shared-state cells -> accesses reachable from thread roots."""
+        if self._access_map is not None:
+            return self._access_map
+        graph = self.graph
+        result: dict[Location, list[RootedAccess]] = {}
+        for root in self.thread_roots:
+            fn = graph.functions.get(root.function)
+            if fn is None:
+                continue
+            visited: set[tuple[str, frozenset[str]]] = set()
+            stack: list[tuple[FunctionInfo, frozenset[str], int]] = [(fn, frozenset(), 0)]
+            while stack:
+                current, inherited, depth = stack.pop()
+                key = (current.qualname, inherited)
+                if key in visited or depth > _MAX_DEPTH:
+                    continue
+                visited.add(key)
+                for access in current.accesses:
+                    result.setdefault(access.location, []).append(
+                        RootedAccess(
+                            root=root,
+                            access=access,
+                            lockset=access.lockset | inherited,
+                        )
+                    )
+                for call in current.calls:
+                    callee = graph.resolve(current, call.callee)
+                    if callee is not None:
+                        stack.append((callee, inherited | call.lockset, depth + 1))
+        self._access_map = result
+        return result

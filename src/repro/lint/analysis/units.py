@@ -1,0 +1,73 @@
+"""Unit-suffix vocabulary shared by RPR002/RPR006/RPR008.
+
+The codebase encodes physical units in name suffixes (``_w`` watts,
+``_j`` joules, ``_s``/``_ms``/``_us``/``_ns`` seconds, ``_hz``/``_ghz``
+hertz).  This module is the single source of truth for that vocabulary
+so the per-expression rules (:mod:`repro.lint.rules.numeric_rules`) and
+the cross-function propagation rule (RPR008) can never disagree on what
+counts as a unit-bearing name.
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["UNIT_SUFFIXES", "expr_unit", "terminal_name", "unit_of"]
+
+#: Longest suffix first so ``_ghz`` is not misread as ``_hz``.
+UNIT_SUFFIXES: tuple[tuple[str, str], ...] = (
+    ("_ghz", "GHz"),
+    ("_hz", "Hz"),
+    ("_ms", "ms"),
+    ("_ns", "ns"),
+    ("_us", "us"),
+    ("_s", "s"),
+    ("_w", "W"),
+    ("_j", "J"),
+)
+
+
+def terminal_name(node: ast.expr) -> str | None:
+    """The identifier an expression goes by, if it has one."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def unit_of(name: str | None) -> str | None:
+    """Unit encoded in ``name``'s suffix, or None."""
+    if not name:
+        return None
+    lowered = name.lower()
+    for suffix, unit in UNIT_SUFFIXES:
+        if lowered.endswith(suffix) and len(lowered) > len(suffix):
+            return unit
+    return None
+
+
+def expr_unit(node: ast.expr, param_units: dict[str, str] | None = None) -> str | None:
+    """Unit of an expression, propagated through +/- and ternaries.
+
+    Multiplication/division form derived quantities, so they yield None;
+    a call's unit is unknowable without the project call graph, so calls
+    yield None here and RPR008 fills that gap.
+    """
+    name = terminal_name(node)
+    if name is not None:
+        unit = unit_of(name)
+        if unit is None and param_units:
+            unit = param_units.get(name)
+        return unit
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+        left = expr_unit(node.left, param_units)
+        right = expr_unit(node.right, param_units)
+        return left if left is not None and left == right else None
+    if isinstance(node, ast.IfExp):
+        body = expr_unit(node.body, param_units)
+        orelse = expr_unit(node.orelse, param_units)
+        return body if body is not None and body == orelse else None
+    if isinstance(node, ast.UnaryOp):
+        return expr_unit(node.operand, param_units)
+    return None

@@ -16,6 +16,14 @@ file.  Registration is declarative::
 
 The registry is populated once at import time by :mod:`repro.lint.rules`
 and read-only afterwards, so no locking is needed.
+
+Rules come in two granularities.  Plain :class:`Rule` subclasses see
+one file at a time through ``check(ctx)``.  :class:`ProjectRule`
+subclasses instead implement ``check_project(project)`` and receive a
+:class:`~repro.lint.analysis.project.ProjectContext` built over *every*
+file in the run — symbol table, call graph, thread roots — so they can
+reason across call and module boundaries (RPR008–RPR011).  Both kinds
+share the registry, pragma suppression and baseline machinery.
 """
 
 from __future__ import annotations
@@ -26,7 +34,15 @@ from typing import Iterable, Iterator
 
 from .findings import Finding
 
-__all__ = ["FileContext", "Rule", "register", "all_rules", "get_rule", "rule_codes"]
+__all__ = [
+    "FileContext",
+    "ProjectRule",
+    "Rule",
+    "register",
+    "all_rules",
+    "get_rule",
+    "rule_codes",
+]
 
 
 @dataclass
@@ -83,6 +99,31 @@ class Rule:
             path=ctx.relpath,
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0),
+            message=f"{self.name}: {message}",
+        )
+
+
+class ProjectRule(Rule):
+    """A rule that runs once over the whole project, not per file.
+
+    Subclasses implement ``check_project``; the per-file ``check`` hook
+    is a no-op so a ProjectRule can sit in the same registry and be
+    selected by code like any other rule.  ``finding_at`` anchors a
+    finding in whichever file the evidence lives in.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding_at(self, path: str, line: int, col: int, message: str) -> Finding:
+        return Finding(
+            code=self.code,
+            path=path,
+            line=line,
+            col=col,
             message=f"{self.name}: {message}",
         )
 

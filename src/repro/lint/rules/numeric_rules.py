@@ -20,42 +20,13 @@ from __future__ import annotations
 
 import ast
 
+from ..analysis.units import terminal_name as _terminal_name
+from ..analysis.units import unit_of as _unit_of
 from ..registry import FileContext, Rule, register
 
 __all__ = ["FloatCapEquality", "UnitSuffixMix"]
 
 _CAP_SUFFIXES = ("_w", "_hz", "_ghz")
-
-#: Longest suffix first so ``_ghz`` is not misread as ``_hz``.
-_UNIT_SUFFIXES: tuple[tuple[str, str], ...] = (
-    ("_ghz", "GHz"),
-    ("_hz", "Hz"),
-    ("_ms", "ms"),
-    ("_ns", "ns"),
-    ("_us", "us"),
-    ("_s", "s"),
-    ("_w", "W"),
-    ("_j", "J"),
-)
-
-
-def _terminal_name(node: ast.expr) -> str | None:
-    """The identifier a comparison operand goes by, if it has one."""
-    if isinstance(node, ast.Name):
-        return node.id
-    if isinstance(node, ast.Attribute):
-        return node.attr
-    return None
-
-
-def _unit_of(name: str | None) -> str | None:
-    if not name:
-        return None
-    lowered = name.lower()
-    for suffix, unit in _UNIT_SUFFIXES:
-        if lowered.endswith(suffix) and len(lowered) > len(suffix):
-            return unit
-    return None
 
 
 def _is_cap_like(name: str | None) -> bool:

@@ -4,30 +4,38 @@
 
 1. collect ``*.py`` files under the given paths (default: the installed
    ``repro`` package — i.e. ``src/repro`` in a checkout);
-2. parse each file and run every registered rule over it (a file that
-   does not parse yields a single ``RPR000`` finding);
-3. apply ``# repro: lint-ignore[...]`` pragmas (justified suppressions
-   drop findings; defective pragmas *add* findings);
-4. partition survivors against the baseline (new vs. grandfathered) and
+2. parse every file up front (a file that does not parse yields a
+   single ``RPR000`` finding);
+3. run the per-file rules over each parsed file, then build one
+   :class:`~repro.lint.analysis.project.ProjectContext` over *all*
+   parsed files and run the project-wide rules (RPR008–RPR011) on it;
+4. apply ``# repro: lint-ignore[...]`` pragmas per file (justified
+   suppressions drop findings; defective pragmas *add* findings);
+5. optionally scope the surviving findings to a changed-file set
+   (``repro lint --changed``) — the whole project is still analysed so
+   cross-file rules see every thread root, only the *reporting* narrows;
+6. partition survivors against the baseline (new vs. grandfathered) and
    note expired baseline entries;
-5. record the outcome in the :mod:`repro.obs.metrics` registry so a
+7. record the outcome in the :mod:`repro.obs.metrics` registry so a
    sweep's metrics dump carries the static-analysis health of the code
    that produced it.
 
 :func:`check_source` is the single-file slice of the same pipeline for
-tests and tooling.
+tests and tooling; project rules run over a one-file project there.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Iterable
 
 from ..obs.metrics import MetricsRegistry, get_registry
+from .analysis.project import ProjectContext
 from .baseline import DEFAULT_BASELINE_PATH, Baseline
 from .findings import PRAGMA_CODE, Finding
 from .pragmas import apply_pragmas, scan_pragmas
-from .registry import FileContext, all_rules, rule_codes
+from .registry import FileContext, ProjectRule, all_rules
 
 __all__ = ["LintReport", "lint_paths", "check_source", "module_name_for"]
 
@@ -104,38 +112,27 @@ def _iter_py_files(target: Path) -> list[Path]:
     return sorted(p for p in target.rglob("*.py") if "__pycache__" not in p.parts)
 
 
-def _lint_source(
-    source: str,
-    *,
-    relpath: str,
-    module: str,
-    is_package: bool,
-    rules,
-) -> tuple[list[Finding], list[Finding], FileContext | None]:
-    """(kept findings, suppressed findings, context) for one file."""
-    try:
-        ctx = FileContext.from_source(
-            source, relpath=relpath, module=module, is_package=is_package
-        )
-    except SyntaxError as exc:
-        finding = Finding(
-            code=PRAGMA_CODE,
-            path=relpath,
-            line=exc.lineno or 1,
-            col=exc.offset or 0,
-            message=f"parse-error: {exc.msg}",
-        )
-        return [finding], [], None
-    raw: list[Finding] = []
-    for rule in rules:
-        raw.extend(rule.check(ctx))
-    kept, suppressed = apply_pragmas(
-        raw,
-        scan_pragmas(source),
-        relpath=relpath,
-        known_codes=frozenset(r.code for r in rules),
-    )
-    return kept, suppressed, ctx
+def _split_rules(selected) -> tuple[list, list]:
+    file_rules = [r for r in selected if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in selected if isinstance(r, ProjectRule)]
+    return file_rules, project_rules
+
+
+def _run_rules(
+    contexts: list[FileContext], file_rules, project_rules
+) -> dict[str, list[Finding]]:
+    """Raw findings per relpath: per-file rules, then project rules."""
+    by_file: dict[str, list[Finding]] = {}
+    for ctx in contexts:
+        out = by_file.setdefault(ctx.relpath, [])
+        for rule in file_rules:
+            out.extend(rule.check(ctx))
+    if project_rules:
+        project = ProjectContext(contexts)
+        for rule in project_rules:
+            for finding in rule.check_project(project):
+                by_file.setdefault(finding.path, []).append(finding)
+    return by_file
 
 
 def check_source(
@@ -146,10 +143,33 @@ def check_source(
     is_package: bool = False,
     rules=None,
 ) -> list[Finding]:
-    """Lint one source string; returns the findings that survive pragmas."""
+    """Lint one source string; returns the findings that survive pragmas.
+
+    Project rules run over a single-file project, so thread roots and
+    call edges inside the snippet are still discovered.
+    """
     selected = all_rules(rules)
-    kept, _suppressed, _ctx = _lint_source(
-        source, relpath=relpath, module=module, is_package=is_package, rules=selected
+    try:
+        ctx = FileContext.from_source(
+            source, relpath=relpath, module=module, is_package=is_package
+        )
+    except SyntaxError as exc:
+        return [
+            Finding(
+                code=PRAGMA_CODE,
+                path=relpath,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"parse-error: {exc.msg}",
+            )
+        ]
+    file_rules, project_rules = _split_rules(selected)
+    raw = _run_rules([ctx], file_rules, project_rules).get(relpath, [])
+    kept, _suppressed = apply_pragmas(
+        raw,
+        scan_pragmas(source),
+        relpath=relpath,
+        known_codes=frozenset(r.code for r in selected),
     )
     return sorted(kept, key=lambda f: f.sort_key)
 
@@ -160,9 +180,15 @@ def lint_paths(
     baseline_path: str | Path | None = None,
     update_baseline: bool = False,
     rules=None,
+    only: Iterable[str | Path] | None = None,
     metrics: MetricsRegistry | None = None,
 ) -> LintReport:
-    """Lint files/directories (default: the ``repro`` package). See module doc."""
+    """Lint files/directories (default: the ``repro`` package). See module doc.
+
+    ``only`` restricts *reported* findings to the given files (used by
+    ``repro lint --changed``); the full path set is still parsed and
+    analysed so project-wide rules keep their whole-program view.
+    """
     targets = [Path(p) for p in paths] if paths else [DEFAULT_TARGET]
     files: list[Path] = []
     seen: set[Path] = set()
@@ -174,29 +200,61 @@ def lint_paths(
                 files.append(r)
 
     selected = all_rules(rules)
-    kept: list[Finding] = []
-    suppressed: list[Finding] = []
-    contexts: dict[str, FileContext] = {}
+    file_rules, project_rules = _split_rules(selected)
+
+    contexts: list[FileContext] = []
+    sources: dict[str, str] = {}
+    relpath_of: dict[str, Path] = {}
+    parse_failures: list[Finding] = []
     for f in sorted(files):
         module, is_package, root = module_name_for(f)
         relpath = f.relative_to(root).as_posix()
-        k, s, ctx = _lint_source(
-            f.read_text(),
-            relpath=relpath,
-            module=module,
-            is_package=is_package,
-            rules=selected,
+        relpath_of[relpath] = f
+        source = f.read_text()
+        sources[relpath] = source
+        try:
+            contexts.append(
+                FileContext.from_source(
+                    source, relpath=relpath, module=module, is_package=is_package
+                )
+            )
+        except SyntaxError as exc:
+            parse_failures.append(
+                Finding(
+                    code=PRAGMA_CODE,
+                    path=relpath,
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    message=f"parse-error: {exc.msg}",
+                )
+            )
+
+    raw_by_file = _run_rules(contexts, file_rules, project_rules)
+
+    known_codes = frozenset(r.code for r in selected)
+    kept: list[Finding] = list(parse_failures)
+    suppressed: list[Finding] = []
+    context_by_path: dict[str, FileContext] = {c.relpath: c for c in contexts}
+    for ctx in contexts:
+        k, s = apply_pragmas(
+            raw_by_file.get(ctx.relpath, []),
+            scan_pragmas(sources[ctx.relpath]),
+            relpath=ctx.relpath,
+            known_codes=known_codes,
         )
         kept.extend(k)
         suppressed.extend(s)
-        if ctx is not None:
-            contexts[relpath] = ctx
+
+    if only is not None:
+        wanted = {Path(p).resolve() for p in only}
+        kept = [f for f in kept if relpath_of.get(f.path) in wanted]
+        suppressed = [f for f in suppressed if relpath_of.get(f.path) in wanted]
 
     kept.sort(key=lambda f: f.sort_key)
     suppressed.sort(key=lambda f: f.sort_key)
 
     def line_lookup(finding: Finding) -> str:
-        ctx = contexts.get(finding.path)
+        ctx = context_by_path.get(finding.path)
         return ctx.line(finding.line) if ctx is not None else ""
 
     resolved_baseline: Path | None

@@ -110,7 +110,7 @@ class SampleWriter:
             self._buf.clear()
         self._fh.flush()
         if fsync:
-            os.fsync(self._fh.fileno())
+            os.fsync(self._fh.fileno())  # repro: lint-ignore[RPR011]: the writer lock must cover the spill so concurrently-recorded sample streams stay contiguous on disk
 
     def flush(self) -> None:
         with self._lock:

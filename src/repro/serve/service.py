@@ -149,7 +149,7 @@ class SweepService:
 
     def _breaker_open(self, now_t: float) -> bool:
         return (
-            self.state.breaker == "open"
+            self.state.breaker_view()[0] == "open"
             and now_t - self.state.breaker_t < self.breaker_cooldown_s
         )
 
@@ -197,7 +197,7 @@ class SweepService:
 
     def status(self, job_id: str) -> dict:
         self.refresh()
-        job = self.state.jobs.get(job_id)
+        job = self.state.get(job_id)
         if job is None:
             raise KeyError(f"unknown job {job_id!r}")
         return job.snapshot()
@@ -211,13 +211,13 @@ class SweepService:
         is ignored on replay (its store file stays on disk regardless).
         """
         self.refresh()
-        job = self.state.jobs.get(job_id)
+        job = self.state.get(job_id)
         if job is None:
             raise KeyError(f"unknown job {job_id!r}")
         if not job.terminal:
             self.wal.append({"kind": "cancel", "job_id": job_id, "t": time.time()})
             self.refresh()
-        return self.state.jobs[job_id].snapshot()
+        return self.state.get(job_id).snapshot()
 
     def report(self) -> dict:
         """Service-wide snapshot: counts, breaker, damage counters, jobs."""
@@ -228,12 +228,12 @@ class SweepService:
             "counts": counts,
             "queue_depth": counts["pending"] + counts["running"],
             "queue_limit": self.queue_limit,
-            "breaker": self.state.breaker,
-            "breaker_streak": self.state.breaker_streak,
-            "wal_corrupt_lines": self.wal.corrupt_lines,
+            "breaker": self.state.breaker_view()[0],
+            "breaker_streak": self.state.breaker_view()[1],
+            "wal_corrupt_lines": self.wal.corruption_count(),
             "duplicates_ignored": self.state.duplicates_ignored,
             "orphan_records": self.state.orphan_records,
-            "jobs": [j.snapshot() for j in self.state.jobs.values()],
+            "jobs": self.state.job_snapshots(),
         }
 
     # ---------------------------------------------------------------- daemon

@@ -45,6 +45,7 @@ from ..core.backoff import retry_backoff
 from ..core.engine import SweepInterrupted
 from ..obs.metrics import MetricsRegistry, get_registry
 from ..obs.trace import NULL_SPAN, Tracer
+from .wal import QueueState, WriteAheadLog
 
 __all__ = ["Supervisor"]
 
@@ -64,8 +65,8 @@ class Supervisor:
 
     def __init__(
         self,
-        wal,
-        state,
+        wal: WriteAheadLog,
+        state: QueueState,
         runner,
         *,
         workers: int = 2,
@@ -168,7 +169,8 @@ class Supervisor:
 
     # ------------------------------------------------------------- dispatch
     def _capacity(self) -> int:
-        limit = 1 if self.state.breaker in ("degraded", "open") else self.workers
+        level, _streak = self.state.breaker_view()
+        limit = 1 if level in ("degraded", "open") else self.workers
         with self._lock:
             return limit - len(self._inflight)
 
@@ -259,14 +261,14 @@ class Supervisor:
 
     # -------------------------------------------------------------- breaker
     def _update_breaker(self) -> None:
-        streak = self.state.breaker_streak
+        current, streak = self.state.breaker_view()
         if streak >= 2 * self.breaker_threshold:
             level = "open"
         elif streak >= self.breaker_threshold:
             level = "degraded"
         else:
             level = "closed"
-        if level != self.state.breaker:
+        if level != current:
             now_t = time.time()
             self.wal.append({"kind": "breaker", "state": level, "streak": streak, "t": now_t})
             self.state.apply_all(self.wal.poll())
@@ -312,7 +314,7 @@ class Supervisor:
                 self._stalled.add(job_id)
 
     def _execute(self, worker: str, job_id: str) -> None:
-        job = self.state.jobs.get(job_id)
+        job = self.state.get(job_id)
         if job is None or job.terminal or job.status == "cancelled":
             return
         self._claim(worker, job_id)
@@ -421,7 +423,7 @@ class Supervisor:
         )
         self.metrics.gauge(
             "repro_serve_breaker_state", "circuit breaker (0 closed, 1 degraded, 2 open)"
-        ).set(_BREAKER_LEVELS.index(self.state.breaker))
+        ).set(_BREAKER_LEVELS.index(self.state.breaker_view()[0]))
         self.metrics.gauge(
             "repro_serve_wal_corrupt_lines", "corrupt WAL lines skipped on replay"
-        ).set(self.wal.corrupt_lines)
+        ).set(self.wal.corruption_count())

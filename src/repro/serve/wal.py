@@ -101,6 +101,7 @@ class WriteAheadLog:
                         fh.write(b"\n")
                 fh.write(data)
                 fh.flush()
+                # repro: lint-ignore[RPR011]: append ordering IS the durability contract — the lock must cover write+flush+fsync so acknowledged records reach disk in queue order
                 os.fsync(fh.fileno())
 
     # ----------------------------------------------------------------- read
@@ -150,15 +151,17 @@ class WriteAheadLog:
                 continue  # header line (or foreign JSON): not a queue record
             records.append(doc)
         if bad:
-            self.corrupt_lines += bad
+            with self._lock:
+                self.corrupt_lines += bad
+                total = self.corrupt_lines  # noqa: consistent view for the log line
             log_event(
                 "serve-wal-corrupt-line",
                 f"skipped {bad} corrupt line(s) in WAL {self.path} "
-                f"({self.corrupt_lines} total); queue state is rebuilt from "
+                f"({total} total); queue state is rebuilt from "
                 "the surviving records",
                 path=str(self.path),
                 skipped=bad,
-                total=self.corrupt_lines,
+                total=total,
             )
         return records
 
@@ -168,6 +171,11 @@ class WriteAheadLog:
             self._offset = 0
             self.corrupt_lines = 0
         return self.poll()
+
+    def corruption_count(self) -> int:
+        """Corrupt lines skipped so far (locked read for metrics/status)."""
+        with self._lock:
+            return self.corrupt_lines
 
 
 @dataclass
@@ -224,6 +232,9 @@ class QueueState:
     """
 
     def __init__(self) -> None:
+        # The control loop replays records while worker threads look up
+        # their jobs; one lock covers every access to the jobs table.
+        self._lock = threading.Lock()
         self.jobs: dict[str, JobState] = {}
         self.breaker = "closed"
         self.breaker_t = 0.0
@@ -233,6 +244,10 @@ class QueueState:
 
     # ---------------------------------------------------------------- apply
     def apply(self, record: dict) -> None:
+        with self._lock:
+            self._apply_locked(record)
+
+    def _apply_locked(self, record: dict) -> None:
         kind = record.get("kind")
         if kind == "submit":
             job_id = record.get("job_id", "")
@@ -302,27 +317,53 @@ class QueueState:
             job.finished_t = float(record.get("t", 0.0))
 
     def apply_all(self, records) -> None:
-        for record in records:
-            self.apply(record)
+        with self._lock:
+            for record in records:
+                self._apply_locked(record)
 
     # ---------------------------------------------------------------- views
+    def get(self, job_id: str) -> JobState | None:
+        """The job's state object, or None — the worker-thread lookup."""
+        with self._lock:
+            return self.jobs.get(job_id)
+
+    def breaker_view(self) -> tuple[str, int]:
+        """(breaker level, failure streak) as one consistent read."""
+        with self._lock:
+            return self.breaker, self.breaker_streak
+
+    def statuses(self) -> dict[str, str]:
+        """job_id → status, one consistent snapshot of the whole table."""
+        with self._lock:
+            return {job_id: j.status for job_id, j in self.jobs.items()}
+
+    def job_snapshots(self) -> list[dict]:
+        """JSON-ready snapshots of every job (status-report view)."""
+        with self._lock:
+            jobs = list(self.jobs.values())
+        return [j.snapshot() for j in jobs]
+
     def eligible(self, now_t: float) -> list[JobState]:
         """Pending jobs whose backoff gate has passed, submission order."""
-        return [
-            j
-            for j in self.jobs.values()
-            if j.status == "pending" and j.not_before_t <= now_t
-        ]
+        with self._lock:
+            return [
+                j
+                for j in self.jobs.values()
+                if j.status == "pending" and j.not_before_t <= now_t
+            ]
 
     def running(self) -> list[JobState]:
-        return [j for j in self.jobs.values() if j.status == "running"]
+        with self._lock:
+            return [j for j in self.jobs.values() if j.status == "running"]
 
     def open_jobs(self) -> list[JobState]:
         """Jobs not yet terminal (the daemon's remaining work)."""
-        return [j for j in self.jobs.values() if not j.terminal]
+        with self._lock:
+            return [j for j in self.jobs.values() if not j.terminal]
 
     def counts(self) -> dict[str, int]:
         out = {"pending": 0, "running": 0, "completed": 0, "failed": 0, "cancelled": 0}
-        for job in self.jobs.values():
-            out[job.status] = out.get(job.status, 0) + 1
+        with self._lock:
+            for job in self.jobs.values():
+                out[job.status] = out.get(job.status, 0) + 1
         return out

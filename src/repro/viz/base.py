@@ -99,7 +99,9 @@ class OpCounts:
     counts: dict[str, float] = field(default_factory=dict)
 
     def add(self, key: str, amount: float) -> None:
-        self.counts[key] = self.counts.get(key, 0.0) + float(amount)
+        # Each OpCounts instance is span-local by construction (one per
+        # processor run); results are merged after the span closes.
+        self.counts[key] = self.counts.get(key, 0.0) + float(amount)  # repro: lint-ignore[RPR009]: OpCounts ledgers are span/thread-local and merged in span order, never shared across threads
 
     def __getitem__(self, key: str) -> float:
         return self.counts.get(key, 0.0)

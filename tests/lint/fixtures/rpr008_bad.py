@@ -1,0 +1,22 @@
+"""Bad: unit suffixes disagree across call/return boundaries."""
+
+
+def runtime_of(scale):
+    total_s = scale * 2.0
+    return total_s
+
+
+def apply_cap(cap_w):
+    return cap_w
+
+
+def configure(freq_ghz=1.0):
+    return freq_ghz
+
+
+def measure():
+    cap_w = runtime_of(3.0)  # binds a watts name to a seconds return
+    delay_s = 0.5
+    apply_cap(delay_s)  # seconds argument into a watts parameter
+    configure(freq_ghz=delay_s)  # seconds value for a gigahertz keyword
+    return cap_w

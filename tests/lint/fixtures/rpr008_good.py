@@ -1,0 +1,22 @@
+"""Good: units line up across every call/return boundary."""
+
+
+def runtime_of(scale):
+    total_s = scale * 2.0
+    return total_s
+
+
+def apply_cap(cap_w):
+    return cap_w
+
+
+def configure(freq_ghz=1.0):
+    return freq_ghz
+
+
+def measure():
+    elapsed_s = runtime_of(3.0)
+    cap_w = 65.0
+    apply_cap(cap_w)
+    configure(freq_ghz=2.4)
+    return elapsed_s, cap_w

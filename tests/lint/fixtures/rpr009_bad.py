@@ -1,0 +1,43 @@
+"""Bad: shared state written under inconsistent locksets (seeded races)."""
+
+import threading
+
+JOBS = {}
+EVENTS = []
+JOBS_LOCK = threading.Lock()
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.entries = {}
+
+    def record(self, key):
+        with self._lock:
+            self.entries[key] = True
+
+    def wipe(self):
+        self.entries.clear()  # same cell, no lock
+
+
+def locked_writer():
+    with JOBS_LOCK:
+        JOBS["a"] = 1
+
+
+def raw_writer():
+    JOBS["b"] = 2  # same dict, no lock
+
+
+def worker(reg: Registry):
+    reg.record("x")
+    reg.wipe()
+    EVENTS.append("wrote")  # never locked, many worker instances
+
+
+def start():
+    reg = Registry()
+    threading.Thread(target=locked_writer).start()
+    threading.Thread(target=raw_writer).start()
+    for _ in range(3):
+        threading.Thread(target=worker, args=(reg,)).start()

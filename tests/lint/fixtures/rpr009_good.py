@@ -1,0 +1,47 @@
+"""Good: every shared cell keeps one consistent lock across all roots."""
+
+import threading
+
+JOBS = {}
+EVENTS = []
+JOBS_LOCK = threading.Lock()
+EVENTS_LOCK = threading.Lock()
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.entries = {}
+
+    def record(self, key):
+        with self._lock:
+            self.entries[key] = True
+
+    def wipe(self):
+        with self._lock:
+            self.entries.clear()
+
+
+def locked_writer():
+    with JOBS_LOCK:
+        JOBS["a"] = 1
+
+
+def raw_writer():
+    with JOBS_LOCK:
+        JOBS["b"] = 2
+
+
+def worker(reg: Registry):
+    reg.record("x")
+    reg.wipe()
+    with EVENTS_LOCK:
+        EVENTS.append("wrote")
+
+
+def start():
+    reg = Registry()
+    threading.Thread(target=locked_writer).start()
+    threading.Thread(target=raw_writer).start()
+    for _ in range(3):
+        threading.Thread(target=worker, args=(reg,)).start()

@@ -1,0 +1,18 @@
+"""Bad: records become visible before they are durable."""
+
+import os
+
+
+def append_without_sync(path, line):
+    with open(path, "a") as fh:
+        fh.write(line + "\n")  # neither flushed nor fsynced
+
+
+def append_flush_only(path, line):
+    with open(path, "a") as fh:
+        fh.write(line + "\n")  # flushed to the OS but never fsynced
+        fh.flush()
+
+
+def publish(tmp_path, final_path):
+    os.replace(tmp_path, final_path)  # rename lands before the data

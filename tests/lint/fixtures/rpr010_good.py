@@ -1,0 +1,18 @@
+"""Good: flush + fsync always precede visibility."""
+
+import os
+
+
+def append_record(path, line):
+    with open(path, "a") as fh:
+        fh.write(line + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def publish(tmp_path, final_path, payload):
+    with open(tmp_path, "a") as fh:
+        fh.write(payload)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp_path, final_path)

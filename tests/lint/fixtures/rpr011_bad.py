@@ -1,0 +1,27 @@
+"""Bad: blocking primitives while a lock is held."""
+
+import os
+import subprocess
+import threading
+import time
+
+LOCK = threading.Lock()
+
+
+def waiter():
+    with LOCK:
+        time.sleep(0.5)  # every contender stalls half a second
+
+
+def syncer(fh):
+    with LOCK:
+        os.fsync(fh.fileno())  # disk latency under the lock
+
+
+def _save(path):
+    subprocess.run(["sync", path])  # reachable with LOCK held (see persist)
+
+
+def persist(path):
+    with LOCK:
+        _save(path)

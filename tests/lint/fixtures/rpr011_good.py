@@ -1,0 +1,31 @@
+"""Good: the lock only covers in-memory state; blocking happens outside."""
+
+import os
+import subprocess
+import threading
+import time
+
+LOCK = threading.Lock()
+
+
+def waiter():
+    with LOCK:
+        ready = True
+    time.sleep(0.5)
+    return ready
+
+
+def syncer(fh):
+    os.fsync(fh.fileno())
+    with LOCK:
+        fh.seek(0)
+
+
+def _save(path):
+    subprocess.run(["sync", path])
+
+
+def persist(path):
+    with LOCK:
+        target = path
+    _save(target)

@@ -1,0 +1,162 @@
+"""Unit tests for the project-wide analysis engine behind RPR008–RPR011."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import check_source
+from repro.lint.analysis import ProjectContext
+from repro.lint.registry import FileContext
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _project(*sources: tuple[str, str, str]) -> ProjectContext:
+    """Build a ProjectContext from (relpath, module, source) triples."""
+    return ProjectContext(
+        [
+            FileContext.from_source(src, relpath=rel, module=mod)
+            for rel, mod, src in sources
+        ]
+    )
+
+
+RACY = '''
+import threading
+
+TABLE = {}
+LOCK = threading.Lock()
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.cells = {}
+
+    def put(self, k, v):
+        with self._lock:
+            self.cells[k] = v
+
+
+def safe():
+    with LOCK:
+        TABLE["a"] = 1
+
+
+def unsafe():
+    TABLE["b"] = 2
+
+
+def start():
+    threading.Thread(target=safe).start()
+    threading.Thread(target=unsafe).start()
+'''
+
+
+def test_symbol_table_collects_functions_classes_and_locks():
+    project = _project(("pkg/mod.py", "pkg.mod", RACY))
+    mod = project.modules["pkg.mod"]
+    assert set(mod.functions) >= {"safe", "unsafe", "start"}
+    store = mod.classes["Store"]
+    assert "cells" in store.mutable_attrs
+    assert "_lock" in store.lock_attrs
+    assert "TABLE" in mod.global_mutables
+
+
+def test_thread_roots_discovered_from_spawns():
+    project = _project(("pkg/mod.py", "pkg.mod", RACY))
+    by_fn = {r.function: r for r in project.thread_roots if r.kind == "thread"}
+    assert "pkg.mod:safe" in by_fn and "pkg.mod:unsafe" in by_fn
+    assert not by_fn["pkg.mod:safe"].multi  # spawned once, straight-line
+
+
+def test_thread_spawned_in_loop_is_multi_instance():
+    src = (
+        "import threading\n"
+        "def work():\n    pass\n"
+        "def boot():\n"
+        "    for _ in range(4):\n"
+        "        threading.Thread(target=work).start()\n"
+    )
+    project = _project(("pkg/m.py", "pkg.m", src))
+    roots = {r.function: r for r in project.thread_roots if r.kind == "thread"}
+    assert roots["pkg.m:work"].multi
+
+
+def test_lockset_propagates_through_call_graph():
+    src = (
+        "import threading\n"
+        "LOCK = threading.Lock()\n"
+        "def inner():\n    pass\n"
+        "def outer():\n"
+        "    with LOCK:\n"
+        "        inner()\n"
+    )
+    project = _project(("pkg/m.py", "pkg.m", src))
+    entry = project.lock_entries()["pkg.m:inner"]
+    assert any("LOCK" in lock for lock in entry.locks)
+    assert entry.chain[0] == "pkg.m:outer"
+
+
+def test_access_map_intersects_locksets_per_location():
+    project = _project(("pkg/mod.py", "pkg.mod", RACY))
+    table = next(
+        loc for loc in project.access_map() if loc.name == "TABLE" and loc.kind == "global"
+    )
+    locksets = {ra.lockset for ra in project.access_map()[table]}
+    assert frozenset() in locksets  # the unsafe write
+    assert any(ls for ls in locksets)  # the locked write
+
+
+def test_return_units_propagate_through_wrappers():
+    src = (
+        "def base():\n    total_s = 1.0\n    return total_s\n"
+        "def wrapper():\n    return base()\n"
+        "def use():\n    cap_w = wrapper()\n    return cap_w\n"
+    )
+    project = _project(("pkg/m.py", "pkg.m", src))
+    assert project.graph.functions["pkg.m:wrapper"].return_unit == "s"
+    findings = check_source(src, relpath="m.py", module="pkg.m", rules=("RPR008",))
+    assert [f.code for f in findings] == ["RPR008"]
+
+
+def test_cross_file_call_resolution():
+    helper = "def delay_of(n):\n    wait_s = n * 0.5\n    return wait_s\n"
+    user = (
+        "from pkg.helper import delay_of\n"
+        "def go():\n    cap_w = delay_of(3)\n    return cap_w\n"
+    )
+    project = _project(
+        ("pkg/helper.py", "pkg.helper", helper),
+        ("pkg/user.py", "pkg.user", user),
+    )
+    fn = project.graph.functions["pkg.user:go"]
+    call = next(c for c in fn.calls if c.callee.name == "delay_of")
+    resolved = project.graph.resolve(fn, call.callee)
+    assert resolved is not None and resolved.qualname == "pkg.helper:delay_of"
+
+
+def test_seeded_race_fixture_is_caught_by_rpr009():
+    source = (FIXTURES / "rpr009_bad.py").read_text()
+    findings = check_source(
+        source, relpath="fixtures/rpr009_bad.py", module="repro.serve.fake"
+    )
+    assert {f.code for f in findings} == {"RPR009"}
+    messages = " ".join(f.message for f in findings)
+    assert "JOBS" in messages and "entries" in messages
+
+
+def test_constructor_writes_are_not_races():
+    src = (
+        "import threading\n"
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self.cells = {}\n"
+        "        self.cells['k'] = 1\n"
+        "def make():\n    return C()\n"
+        "def boot():\n"
+        "    for _ in range(3):\n"
+        "        threading.Thread(target=make).start()\n"
+    )
+    findings = check_source(src, relpath="m.py", module="pkg.m", rules=("RPR009",))
+    assert findings == []

@@ -76,3 +76,65 @@ def test_unknown_rule_selection_is_an_error():
 
     with pytest.raises(KeyError):
         lint_paths(rules=("RPR999",))
+
+
+def test_lint_changed_scopes_reporting(tmp_path, capsys, monkeypatch):
+    from repro import cli
+
+    clean = tmp_path / "clean.py"
+    clean.write_text("X = 1\n")
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(BAD)
+
+    # Only `clean.py` is "changed": the dirty file's finding is out of scope.
+    monkeypatch.setattr(cli, "_git_changed_files", lambda: [clean])
+    assert main(["lint", "--changed", str(tmp_path)]) == 0
+    assert "lint: clean" in capsys.readouterr().out
+
+    monkeypatch.setattr(cli, "_git_changed_files", lambda: [dirty])
+    assert main(["lint", "--changed", str(tmp_path)]) == 1
+    assert "RPR001" in capsys.readouterr().out
+
+
+def test_lint_changed_with_no_changes_short_circuits(capsys, monkeypatch):
+    from repro import cli
+
+    monkeypatch.setattr(cli, "_git_changed_files", lambda: [])
+    assert main(["lint", "--changed"]) == 0
+    assert "no changed python files" in capsys.readouterr().out
+
+
+def test_lint_changed_outside_git_is_a_usage_error(capsys, monkeypatch):
+    from repro import cli
+
+    monkeypatch.setattr(cli, "_git_changed_files", lambda: None)
+    assert main(["lint", "--changed"]) == 2
+    assert "requires a git checkout" in capsys.readouterr().err
+
+
+def test_sanitize_runs_inner_command_and_reports(tmp_path, capsys):
+    import json as _json
+
+    from repro.lint import sanitizer
+
+    artifact = tmp_path / "sanitizer.json"
+    try:
+        assert main(["sanitize", "--show", "--report", str(artifact), "lint"]) == 0
+    finally:
+        sanitizer.uninstall()
+        sanitizer.reset()
+    out = capsys.readouterr().out
+    assert "lint: clean" in out and "sanitizer:" in out
+    doc = _json.loads(artifact.read_text())
+    assert doc["format"] == "repro-sanitizer-report"
+    assert doc["ok"] is True and doc["cycles"] == [] and doc["races"] == []
+
+
+def test_sanitize_without_a_command_is_a_usage_error(capsys):
+    assert main(["sanitize"]) == 2
+    assert "subcommand" in capsys.readouterr().err
+
+
+def test_sanitize_refuses_to_nest(capsys):
+    assert main(["sanitize", "sanitize", "lint"]) == 2
+    assert "nest" in capsys.readouterr().err

@@ -10,14 +10,21 @@ from repro.lint import check_source
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
-#: RPR004/RPR007 only apply inside the repro package, so their fixtures
-#: are linted under a pretend module path.
+#: Rules scoped by module path (RPR004/RPR007 to repro subpackages,
+#: RPR010 to the durability modules) lint their fixtures under a
+#: pretend module path.
 _FIXTURE_MODULES = {
     "RPR004": "repro.viz.fake",
     "RPR007": "repro.core.fake",
+    "RPR009": "repro.serve.fake",
+    "RPR010": "repro.fixtures.wal",
+    "RPR011": "repro.serve.fake",
 }
 
-RULES = ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006", "RPR007")
+RULES = (
+    "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006", "RPR007",
+    "RPR008", "RPR009", "RPR010", "RPR011",
+)
 
 
 def _lint_fixture(code: str, kind: str):
@@ -44,7 +51,8 @@ def test_good_fixture_is_clean(code):
 @pytest.mark.parametrize(
     "code, expected",
     [("RPR001", 5), ("RPR002", 2), ("RPR003", 3), ("RPR004", 2),
-     ("RPR005", 2), ("RPR006", 2), ("RPR007", 2)],
+     ("RPR005", 2), ("RPR006", 2), ("RPR007", 2), ("RPR008", 3),
+     ("RPR009", 3), ("RPR010", 3), ("RPR011", 3)],
 )
 def test_bad_fixture_flags_every_site(code, expected):
     assert len(_lint_fixture(code, "bad")) == expected

@@ -17,11 +17,17 @@ def test_repro_package_is_lint_clean():
     assert report.ok, "\n" + render_text(report)
     assert not report.expired
     assert report.files_scanned >= 80
-    assert report.rules_run == ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006", "RPR007")
+    assert report.rules_run == (
+        "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
+        "RPR007", "RPR008", "RPR009", "RPR010", "RPR011",
+    )
 
 
-def test_all_seven_rules_are_registered():
-    assert rule_codes() == ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006", "RPR007")
+def test_all_eleven_rules_are_registered():
+    assert rule_codes() == (
+        "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
+        "RPR007", "RPR008", "RPR009", "RPR010", "RPR011",
+    )
 
 
 def test_every_in_tree_pragma_is_justified():
